@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark runs its experiment exactly once (``rounds=1``) — the experiments are
+full train/evaluate pipelines, not micro-benchmarks — and saves the formatted table
+under ``benchmarks/results/`` so the reproduction artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable that persists (and echoes) an experiment's formatted table."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Benchmark for Figure 1: accuracy versus triangle-inequality violation degree.
+
+Expected shape: the original (Euclidean) model loses accuracy in the most violating
+query bucket relative to the least violating one, while the LH-plugin narrows or
+closes that gap.
+"""
+
+from repro.experiments import ExperimentSettings, fig1_violation_accuracy as experiment
+
+from conftest import run_once
+
+
+def test_fig1_violation_accuracy(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=40, epochs=5, seed=0)
+    result = run_once(benchmark, lambda: experiment.run(settings, num_buckets=3, k=10))
+    table = experiment.format_result(result)
+    save_result("fig1_violation_accuracy", table)
+
+    original = result["results"]["original"]["bucket_hit_rates"]
+    plugin = result["results"]["fusion-dist"]["bucket_hit_rates"]
+    assert len(original) == len(plugin) == 3
+    # The plugin should not be worse than the original in the most violating bucket.
+    assert plugin[-1] >= original[-1] - 0.1

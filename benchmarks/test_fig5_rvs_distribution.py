@@ -1,0 +1,22 @@
+"""Benchmark for Figure 5: RVS distributions (ground truth vs Euclidean vs Fusion).
+
+Expected shape: ground-truth RVS values are all positive on the selected violating
+triplets, the Euclidean model's RVS mass is (almost) entirely negative, and the
+fusion distance moves a substantial fraction of its mass to the positive side.
+"""
+
+from repro.experiments import ExperimentSettings, fig5_rvs_distribution as experiment
+
+from conftest import run_once
+
+
+def test_fig5_rvs_distribution(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=40, epochs=4, seed=0)
+    result = run_once(benchmark, lambda: experiment.run(settings, max_violating=300))
+    table = experiment.format_result(result)
+    save_result("fig5_rvs_distribution", table)
+
+    summary = result["summary"]
+    assert summary["ground_truth"]["fraction_positive"] == 1.0
+    assert summary["euclidean"]["fraction_positive"] < 0.2
+    assert summary["fusion"]["fraction_positive"] >= summary["euclidean"]["fraction_positive"]

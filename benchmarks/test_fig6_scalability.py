@@ -1,0 +1,23 @@
+"""Benchmark for Figure 6: accuracy versus training-data size.
+
+Expected shape: accuracy grows with the training fraction for both variants, and the
+LH-plugin curve stays at or above the original's across fractions.
+"""
+
+from repro.experiments import ExperimentSettings, fig6_scalability as experiment
+
+from conftest import run_once
+
+
+def test_fig6_scalability(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=40, epochs=4, seed=0)
+    result = run_once(benchmark,
+                      lambda: experiment.run(settings, fractions=(0.2, 0.6, 1.0)))
+    table = experiment.format_result(result)
+    save_result("fig6_scalability", table)
+
+    for variant in ("original", "fusion-dist"):
+        curve = [row["metrics"]["hr@10"] for row in result["results"][variant]]
+        # More training data should not hurt much: the full-data point beats the
+        # smallest fraction (allowing a small tolerance for run-to-run noise).
+        assert curve[-1] >= curve[0] - 0.05

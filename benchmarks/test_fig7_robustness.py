@@ -1,0 +1,22 @@
+"""Benchmark for Figure 7: training-curve robustness (original vs LH-plugin).
+
+Expected shape: the plugin's per-epoch accuracy curve is at least as smooth as the
+original's (smaller epoch-to-epoch fluctuation) and ends at a comparable or better
+final accuracy.
+"""
+
+from repro.experiments import ExperimentSettings, fig7_robustness as experiment
+
+from conftest import run_once
+
+
+def test_fig7_robustness(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=35, epochs=6, seed=0)
+    result = run_once(benchmark, lambda: experiment.run(settings))
+    table = experiment.format_result(result)
+    save_result("fig7_robustness", table)
+
+    original = result["curves"]["original"]
+    plugin = result["curves"]["fusion-dist"]
+    assert len(original["curve"]) == len(plugin["curve"]) == settings.epochs
+    assert plugin["final"] >= original["final"] - 0.1

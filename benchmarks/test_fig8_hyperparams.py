@@ -1,0 +1,25 @@
+"""Benchmark for Figure 8: hyper-parameter sweep over the curvature β and exponent c.
+
+Expected shape: accuracy varies mildly over the sweep and the paper's defaults
+(β = 1, c = 4) are competitive with the best setting.
+"""
+
+from repro.experiments import ExperimentSettings, fig8_hyperparams as experiment
+
+from conftest import run_once
+
+
+def test_fig8_hyperparams(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=30, epochs=4, seed=0)
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(settings, betas=(0.5, 1.0, 2.0), compressions=(2.0, 4.0, 8.0)),
+    )
+    table = experiment.format_result(result)
+    save_result("fig8_hyperparams", table)
+
+    beta_scores = {row["beta"]: row["metrics"]["hr@10"] for row in result["beta_sweep"]}
+    compression_scores = {row["c"]: row["metrics"]["hr@10"]
+                          for row in result["compression_sweep"]}
+    assert beta_scores[1.0] >= max(beta_scores.values()) - 0.15
+    assert compression_scores[4.0] >= max(compression_scores.values()) - 0.15

@@ -1,0 +1,21 @@
+"""Benchmark for Table I: triangle-constraint variability across datasets.
+
+Expected shape: DTW/SSPD show double-digit RV percentages on the taxi-like presets,
+the OSM preset violates least, and the metric controls (not shown in the paper's
+table but asserted in the tests) never violate.
+"""
+
+from repro.experiments import table1_constraint_variability as experiment
+
+from conftest import run_once
+
+
+def test_table1_constraint_variability(benchmark, save_result):
+    result = run_once(benchmark, lambda: experiment.run(dataset_size=32, max_triplets=2500))
+    table = experiment.format_result(result)
+    save_result("table1_constraint_variability", table)
+
+    chengdu_dtw = result["results"]["chengdu"]["dtw"]
+    assert chengdu_dtw["ratio_of_violation"] > 0.05
+    assert result["results"]["osm"]["dtw"]["ratio_of_violation"] <= \
+        result["results"]["tdrive"]["dtw"]["ratio_of_violation"]

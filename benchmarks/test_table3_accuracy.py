@@ -1,0 +1,32 @@
+"""Benchmark for Table III: spatial models × measures, original vs LH-plugin.
+
+Expected shape: the LH-plugin variant matches or improves the original Euclidean
+pipeline on most (model, measure) cells, with DTW showing the clearest gains.
+"""
+
+from repro.experiments import ExperimentSettings, table3_accuracy as experiment
+
+from conftest import run_once
+
+
+def test_table3_accuracy(benchmark, save_result):
+    settings = ExperimentSettings(dataset_size=30, epochs=3, hidden_dim=20, seed=0)
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(settings,
+                               models=("neutraj", "trajgat", "traj2simvec"),
+                               measures=("dtw", "sspd", "edr"),
+                               presets=("chengdu",)),
+    )
+    table = experiment.format_result(result)
+    save_result("table3_accuracy", table)
+
+    cells = result["results"]["chengdu"]
+    improvements = []
+    for model in result["models"]:
+        for measure in result["measures"]:
+            original = cells[model][measure]["original"]["hr@10"]
+            plugged = cells[model][measure]["lh-plugin"]["hr@10"]
+            improvements.append(plugged - original)
+    # The plugin should help on average across the grid.
+    assert sum(improvements) / len(improvements) > -0.05

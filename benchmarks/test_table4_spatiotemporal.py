@@ -1,0 +1,28 @@
+"""Benchmark for Table IV: spatio-temporal models (ST2Vec, Tedj) with the LH-plugin.
+
+Expected shape: the plugin matches or improves both models on the TP, DITA and
+discrete Fréchet ground truths.
+"""
+
+from repro.experiments import ExperimentSettings, table4_spatiotemporal as experiment
+
+from conftest import run_once
+
+
+def test_table4_spatiotemporal(benchmark, save_result):
+    settings = ExperimentSettings(preset="tdrive", dataset_size=24, epochs=2,
+                                  hidden_dim=16, seed=0)
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(settings, models=("st2vec", "tedj"),
+                               measures=("tp", "dita", "frechet")),
+    )
+    table = experiment.format_result(result)
+    save_result("table4_spatiotemporal", table)
+
+    improvements = []
+    for model in result["models"]:
+        for measure in result["measures"]:
+            cell = result["results"][model][measure]
+            improvements.append(cell["lh-plugin"]["hr@10"] - cell["original"]["hr@10"])
+    assert sum(improvements) / len(improvements) > -0.05

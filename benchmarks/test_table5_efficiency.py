@@ -1,0 +1,24 @@
+"""Benchmark for Table V: retrieval latency / memory overhead of the LH-plugin.
+
+Expected shape: the plugin's memory overhead stays in the single-digit percent range
+and its latency overhead is a small fraction of the total retrieval cost (the paper
+reports <0.05% at million-trajectory scale; at the scaled-down sizes used here the
+relative overhead is larger but still bounded).
+"""
+
+from repro.experiments import table5_efficiency as experiment
+
+from conftest import run_once
+
+
+def test_table5_efficiency(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        lambda: experiment.run(database_sizes=(1000, 5000, 20000), num_queries=20, repeats=3),
+    )
+    table = experiment.format_result(result)
+    save_result("table5_efficiency", table)
+
+    for row in result["rows"]:
+        assert row["memory_increase"] < 0.15
+        assert row["latency_increase"] < 1.0

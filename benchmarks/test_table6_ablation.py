@@ -1,0 +1,24 @@
+"""Benchmark for Table VI: incremental ablation of the LH-plugin components.
+
+Expected shape: moving along original → lh-vanilla → lh-cosh → fusion-dist does not
+degrade accuracy on average, and the full fusion distance is the best (or tied best)
+variant on most measures.
+"""
+
+from repro.experiments import ExperimentSettings, table6_ablation as experiment
+
+from conftest import run_once
+
+
+def test_table6_ablation(benchmark, save_result):
+    settings = ExperimentSettings(model="meanpool", dataset_size=35, epochs=5, seed=0)
+    result = run_once(benchmark,
+                      lambda: experiment.run(settings, measures=("dtw", "sspd", "edr")))
+    table = experiment.format_result(result)
+    save_result("table6_ablation", table)
+
+    gaps = []
+    for measure in result["measures"]:
+        cell = result["results"][measure]
+        gaps.append(cell["fusion-dist"]["hr@10"] - cell["original"]["hr@10"])
+    assert sum(gaps) / len(gaps) > -0.05

@@ -1,0 +1,61 @@
+"""Integrating the LH-plugin with different base encoders (model-agnostic usage).
+
+The LH-plugin does not modify the base model: the same plugin wraps a grid-GRU
+encoder (Neutraj-style), a quadtree graph-attention encoder (TrajGAT-style) and an
+LSTM encoder (Traj2SimVec-style).  This example trains each pairing briefly and
+reports the accuracy improvement, plus demonstrates the ablation variants.
+
+Run with:  python examples/plugin_integration.py
+"""
+
+from __future__ import annotations
+
+from repro import LHPlugin, LHPluginConfig, generate_dataset
+from repro.distances import normalize_matrix, pairwise_distance_matrix
+from repro.eval import evaluate_retrieval
+from repro.models import get_model
+from repro.training import SimilarityTrainer
+
+MODELS = ("neutraj", "trajgat", "traj2simvec")
+VARIANTS = ("original", "lh-vanilla", "lh-cosh", "fusion-dist")
+
+
+def make_plugin(variant: str) -> LHPlugin | None:
+    if variant == "original":
+        return None
+    return LHPlugin(LHPluginConfig.ablation_variant(variant))
+
+
+def main() -> None:
+    dataset = generate_dataset("porto", size=30, seed=11)
+    truth = normalize_matrix(
+        pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+
+    print("Model-agnostic integration: the same plugin wraps three different encoders\n")
+    for model_name in MODELS:
+        print(f"=== base model: {model_name} ===")
+        for variant in ("original", "fusion-dist"):
+            encoder = get_model(model_name).build(dataset, embedding_dim=16,
+                                                  hidden_dim=16, seed=1)
+            trainer = SimilarityTrainer(encoder, plugin=make_plugin(variant),
+                                        learning_rate=5e-3, seed=1)
+            trainer.fit(dataset, truth, epochs=2)
+            metrics = evaluate_retrieval(trainer.model_distance_matrix(dataset), truth,
+                                         hr_ks=(10,), ndcg_ks=(10,))
+            print(f"   {variant:<12} HR@10={metrics['hr@10']:.3f} "
+                  f"NDCG@10={metrics['ndcg@10']:.3f}")
+        print()
+
+    print("Ablation variants on the meanpool encoder (cf. Table VI):")
+    for variant in VARIANTS:
+        encoder = get_model("meanpool").build(dataset, embedding_dim=16, seed=1)
+        trainer = SimilarityTrainer(encoder, plugin=make_plugin(variant),
+                                    learning_rate=5e-3, seed=1)
+        trainer.fit(dataset, truth, epochs=4)
+        metrics = evaluate_retrieval(trainer.model_distance_matrix(dataset), truth,
+                                     hr_ks=(10,), ndcg_ks=(10,))
+        print(f"   {variant:<12} HR@10={metrics['hr@10']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Analyse triangle-inequality violations of trajectory similarity measures.
+
+The motivation of the LH-plugin (Section I and Table I of the paper) is that common
+trajectory measures — DTW, SSPD, EDR — violate the triangle inequality on a sizeable
+fraction of trajectory triplets, which Euclidean embeddings cannot represent.  This
+example reproduces that analysis on synthetic city presets and contrasts it with two
+true metrics (Hausdorff, discrete Fréchet) that never violate.
+
+Run with:  python examples/violation_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_dataset
+from repro.distances import METRIC_PROPERTIES, normalize_matrix, pairwise_distance_matrix
+from repro.violation import violation_report
+
+PRESETS = ("chengdu", "porto", "tdrive", "osm")
+MEASURES = ("dtw", "sspd", "edr", "hausdorff", "frechet")
+MEASURE_KWARGS = {"edr": {"epsilon": 0.25}}
+
+
+def main() -> None:
+    print(f"{'preset':<10} {'measure':<10} {'metric?':<8} {'RV':>8} {'ARVS':>8}")
+    print("-" * 48)
+    for preset in PRESETS:
+        dataset = generate_dataset(preset, size=35, seed=3)
+        trajectories = dataset.point_arrays(spatial_only=True)
+        for measure in MEASURES:
+            matrix = normalize_matrix(
+                pairwise_distance_matrix(trajectories, measure,
+                                         **MEASURE_KWARGS.get(measure, {})))
+            report = violation_report(matrix, max_triplets=3000, seed=0)
+            is_metric = "yes" if METRIC_PROPERTIES[measure] else "no"
+            print(f"{preset:<10} {measure:<10} {is_metric:<8} "
+                  f"{report['ratio_of_violation']:>7.1%} "
+                  f"{report['average_relative_violation']:>8.3f}")
+        print()
+    print("True metrics (Hausdorff, discrete Fréchet) never violate; the measures the")
+    print("paper targets (DTW, SSPD, EDR) do — that is the gap the LH-plugin closes.")
+
+
+if __name__ == "__main__":
+    main()

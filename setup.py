@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without network access (legacy
+``setup.py develop`` does not need to download the ``wheel`` backend).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""``repro.core`` — the LH-plugin: Lorentz geometry, hyperbolic projections,
+dynamic fusion and the model-agnostic plugin wrapper.
+"""
+
+from .lorentz import (
+    lorentz_inner,
+    lorentz_distance,
+    lorentz_distance_matrix,
+    is_on_hyperboloid,
+    lorentz_inner_t,
+    lorentz_distance_t,
+)
+from .projection import (
+    norm_compression,
+    vanilla_projection,
+    cosh_projection,
+    vanilla_projection_t,
+    cosh_projection_t,
+    project,
+    project_t,
+    projection_scalars,
+)
+from .config import LHPluginConfig
+from .fusion import FactorEncoder, DynamicFusion, fuse_distances, lorentz_proportion
+from .plugin import LHPlugin, PluggedEncoder
+
+__all__ = [
+    "lorentz_inner", "lorentz_distance", "lorentz_distance_matrix", "is_on_hyperboloid",
+    "lorentz_inner_t", "lorentz_distance_t",
+    "norm_compression", "vanilla_projection", "cosh_projection",
+    "vanilla_projection_t", "cosh_projection_t", "project", "project_t",
+    "projection_scalars",
+    "LHPluginConfig",
+    "FactorEncoder", "DynamicFusion", "fuse_distances", "lorentz_proportion",
+    "LHPlugin", "PluggedEncoder",
+]

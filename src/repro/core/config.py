@@ -1,0 +1,89 @@
+"""Configuration object for the LH-plugin."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LHPluginConfig"]
+
+_VALID_PROJECTIONS = ("cosh", "vanilla")
+_VALID_ENCODERS = ("lstm", "mean")
+
+
+@dataclass(frozen=True)
+class LHPluginConfig:
+    """Hyper-parameters of the LH-plugin.
+
+    Attributes
+    ----------
+    beta:
+        Curvature / shape parameter β of the hyperboloid ``H(β)`` (paper default 1).
+    compression:
+        Exponent ``c`` of the norm compression ``γ_c(x) = x^{1/c}`` used by the cosh
+        projection (paper default 4).
+    projection:
+        ``"cosh"`` (proposed) or ``"vanilla"`` (ablation baseline).
+    use_fusion:
+        Whether to blend Lorentz and Euclidean distances with the dynamic fusion
+        module.  When False, the plugin returns the pure Lorentz distance
+        (the "lh-cosh" / "lh-vanilla" ablation rows).
+    factor_dim:
+        Dimensionality of each factor vector (V_Lo and V_Eu) produced by the fusion
+        encoder.
+    fusion_hidden:
+        Hidden size of the fusion factor encoder.
+    fusion_encoder:
+        ``"lstm"`` (paper's choice, linear in trajectory length) or ``"mean"`` (mean-
+        pooled MLP, an even cheaper ablation).
+    point_features:
+        Number of per-point input features the fusion encoder consumes (2 for
+        (lon, lat), 3 when a timestamp is present).
+    seed:
+        Seed for the plugin's own parameter initialisation.
+    """
+
+    beta: float = 1.0
+    compression: float = 4.0
+    projection: str = "cosh"
+    use_fusion: bool = True
+    factor_dim: int = 8
+    fusion_hidden: int = 16
+    fusion_encoder: str = "lstm"
+    point_features: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.compression <= 0:
+            raise ValueError("compression must be positive")
+        if self.projection not in _VALID_PROJECTIONS:
+            raise ValueError(f"projection must be one of {_VALID_PROJECTIONS}")
+        if self.fusion_encoder not in _VALID_ENCODERS:
+            raise ValueError(f"fusion_encoder must be one of {_VALID_ENCODERS}")
+        if self.factor_dim <= 0 or self.fusion_hidden <= 0:
+            raise ValueError("factor_dim and fusion_hidden must be positive")
+        if self.point_features not in (2, 3):
+            raise ValueError("point_features must be 2 (spatial) or 3 (spatio-temporal)")
+
+    def with_updates(self, **kwargs) -> "LHPluginConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def ablation_variant(name: str, **kwargs) -> "LHPluginConfig":
+        """Named configurations matching the paper's ablation rows (Table VI).
+
+        ``"lh-vanilla"``: Lorentz distance with the vanilla projection, no fusion.
+        ``"lh-cosh"``: Lorentz distance with the cosh projection, no fusion.
+        ``"fusion-dist"``: the full LH-plugin (cosh projection + dynamic fusion).
+        """
+        variants = {
+            "lh-vanilla": {"projection": "vanilla", "use_fusion": False},
+            "lh-cosh": {"projection": "cosh", "use_fusion": False},
+            "fusion-dist": {"projection": "cosh", "use_fusion": True},
+        }
+        if name not in variants:
+            raise KeyError(f"unknown ablation variant '{name}'; options: {sorted(variants)}")
+        merged = {**variants[name], **kwargs}
+        return LHPluginConfig(**merged)

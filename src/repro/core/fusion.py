@@ -1,0 +1,118 @@
+"""Dynamic Fusion Distance (Section V-B).
+
+Pure Lorentz distance is not always the right choice: many trajectory triplets do
+respect the triangle inequality, and for those the Euclidean distance is a better
+fit.  The paper therefore blends the two with a *per-pair* coefficient that is still
+computable in linear time: a lightweight sequence encoder emits, for every
+trajectory, a **Lorentz factor vector** ``V_Lo`` and a **Euclidean factor vector**
+``V_Eu``; for a pair ``(a, b)`` the Lorentz proportion is
+
+    α_Lo = (V_Lo_a · V_Lo_b) / (V_Lo_a · V_Lo_b + V_Eu_a · V_Eu_b)
+
+and the fused distance is ``d_Fu = α_Lo · d_Lo + (1 − α_Lo) · d_Eu``.
+
+Factor vectors are made strictly positive with a softplus so the proportion is always
+well defined and lies in ``(0, 1)``; the paper leaves this detail open and any
+positivity-preserving squashing works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LSTM, Linear, Module, Tensor, as_tensor, no_grad
+from .config import LHPluginConfig
+
+__all__ = ["FactorEncoder", "DynamicFusion", "fuse_distances", "lorentz_proportion"]
+
+
+class FactorEncoder(Module):
+    """Sequence-to-vector encoder producing the Lorentz / Euclidean factor vectors.
+
+    The paper selects an LSTM because its cost is linear in trajectory length; a
+    mean-pooled linear encoder is provided as a cheaper ablation.  The output vector
+    of size ``2 * factor_dim`` is split into ``V_Lo`` (first half) and ``V_Eu``
+    (second half), both passed through softplus to stay positive.
+    """
+
+    def __init__(self, config: LHPluginConfig):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        output_dim = 2 * config.factor_dim
+        if config.fusion_encoder == "lstm":
+            self.sequence_encoder = LSTM(config.point_features, config.fusion_hidden, rng=rng)
+            self.head = Linear(config.fusion_hidden, output_dim, rng=rng)
+        else:
+            self.sequence_encoder = None
+            self.head = Linear(config.point_features, output_dim, rng=rng)
+
+    def forward(self, points) -> tuple[Tensor, Tensor]:
+        """Encode one trajectory's point features into ``(V_Lo, V_Eu)``."""
+        points = as_tensor(points)
+        if points.ndim != 2:
+            raise ValueError("FactorEncoder expects a (length, point_features) sequence")
+        if self.sequence_encoder is not None:
+            _, (hidden, _) = self.sequence_encoder(points, return_sequence=False)
+            summary = hidden
+        else:
+            summary = points.mean(axis=0)
+        factors = self.head(summary).softplus() + 1e-6
+        half = self.config.factor_dim
+        return factors[:half], factors[half:]
+
+
+def lorentz_proportion(v_lo_a: Tensor, v_eu_a: Tensor,
+                       v_lo_b: Tensor, v_eu_b: Tensor) -> Tensor:
+    """The Lorentz proportion ``α_Lo`` for one trajectory pair (differentiable)."""
+    lorentz_term = (as_tensor(v_lo_a) * as_tensor(v_lo_b)).sum()
+    euclid_term = (as_tensor(v_eu_a) * as_tensor(v_eu_b)).sum()
+    return lorentz_term / (lorentz_term + euclid_term)
+
+
+def fuse_distances(lorentz: Tensor, euclidean: Tensor, alpha: Tensor) -> Tensor:
+    """Fused distance ``α·d_Lo + (1 − α)·d_Eu`` (differentiable)."""
+    alpha = as_tensor(alpha)
+    return alpha * as_tensor(lorentz) + (1.0 - alpha) * as_tensor(euclidean)
+
+
+class DynamicFusion(Module):
+    """Wrapper owning the factor encoder plus fast NumPy batch paths for retrieval."""
+
+    def __init__(self, config: LHPluginConfig):
+        super().__init__()
+        self.config = config
+        self.encoder = FactorEncoder(config)
+
+    # ------------------------------------------------------------ training path
+    def factors(self, points) -> tuple[Tensor, Tensor]:
+        """Differentiable factor vectors for one trajectory."""
+        return self.encoder(points)
+
+    def alpha(self, points_a, points_b) -> Tensor:
+        """Differentiable ``α_Lo`` for a pair of trajectories."""
+        v_lo_a, v_eu_a = self.encoder(points_a)
+        v_lo_b, v_eu_b = self.encoder(points_b)
+        return lorentz_proportion(v_lo_a, v_eu_a, v_lo_b, v_eu_b)
+
+    # ----------------------------------------------------------- inference path
+    def factors_numpy(self, point_sequences) -> tuple[np.ndarray, np.ndarray]:
+        """Factor vectors for many trajectories, without building autograd graphs."""
+        lorentz_factors = []
+        euclid_factors = []
+        with no_grad():
+            for points in point_sequences:
+                v_lo, v_eu = self.encoder(points)
+                lorentz_factors.append(v_lo.data.copy())
+                euclid_factors.append(v_eu.data.copy())
+        return np.array(lorentz_factors), np.array(euclid_factors)
+
+    @staticmethod
+    def alpha_matrix(query_factors: tuple[np.ndarray, np.ndarray],
+                     database_factors: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        """All-pairs ``α_Lo`` between query and database factor vectors."""
+        q_lo, q_eu = query_factors
+        d_lo, d_eu = database_factors
+        lorentz_term = q_lo @ d_lo.T
+        euclid_term = q_eu @ d_eu.T
+        return lorentz_term / (lorentz_term + euclid_term)

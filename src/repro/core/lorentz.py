@@ -1,0 +1,95 @@
+"""Lorentz (hyperboloid) geometry: inner product, hyperbolic space and Lorentz distance.
+
+The paper works in the hyperboloid model ``H(β) = {a ∈ R^{n+1} : ⟨a, a⟩_L = −β,
+a₀ ≥ √β}`` where ``⟨a, b⟩_L = −a₀b₀ + Σᵢ aᵢbᵢ`` is the Lorentz inner product, and
+defines the **Lorentz distance** ``d_Lo(a, b) = |⟨a, b⟩_L| − β`` (Definition 3).
+
+Two properties make this distance the core of the LH-plugin:
+
+* it is non-negative and zero only at ``a = b`` (Lemma 4), so it behaves like a
+  distance for nearest-neighbour retrieval;
+* it is **not** constrained by the triangle inequality (Lemma 5), so embeddings can
+  faithfully represent trajectory measures (DTW, SSPD, EDR, ...) that violate it.
+
+Both NumPy (fast, inference/analysis) and autodiff ``Tensor`` (training) versions of
+every function are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor
+
+__all__ = [
+    "lorentz_inner",
+    "lorentz_distance",
+    "lorentz_distance_matrix",
+    "is_on_hyperboloid",
+    "lorentz_inner_t",
+    "lorentz_distance_t",
+]
+
+
+# --------------------------------------------------------------------- NumPy path
+def lorentz_inner(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lorentz inner product ``−a₀b₀ + Σᵢ aᵢbᵢ`` along the last axis."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    product = a * b
+    return product[..., 1:].sum(axis=-1) - product[..., 0]
+
+
+def lorentz_distance(a: np.ndarray, b: np.ndarray, beta: float = 1.0) -> np.ndarray:
+    """Lorentz distance ``|⟨a, b⟩_L| − β`` between points of ``H(β)``."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return np.abs(lorentz_inner(a, b)) - beta
+
+
+def lorentz_distance_matrix(points_a: np.ndarray, points_b: np.ndarray | None = None,
+                            beta: float = 1.0) -> np.ndarray:
+    """All-pairs Lorentz distances between two sets of hyperbolic points.
+
+    ``points_a`` is (n, d+1) and ``points_b`` (m, d+1); the result is (n, m).  The
+    inner product is evaluated with one matrix multiplication, so this is the fast
+    path used for similarity retrieval over pre-embedded databases.
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    points_a = np.asarray(points_a, dtype=np.float64)
+    points_b = points_a if points_b is None else np.asarray(points_b, dtype=np.float64)
+    signature = np.ones(points_a.shape[-1])
+    signature[0] = -1.0
+    gram = (points_a * signature) @ points_b.T
+    return np.abs(gram) - beta
+
+
+def is_on_hyperboloid(a: np.ndarray, beta: float = 1.0, atol: float = 1e-6) -> np.ndarray:
+    """Whether points satisfy ``⟨a, a⟩_L = −β`` and ``a₀ ≥ √β`` (within ``atol``).
+
+    The self inner product is a difference of two quantities of order ``a₀²``, so the
+    tolerance is scaled by ``max(1, a₀²)`` to absorb the unavoidable floating-point
+    cancellation for points far from the apex.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    cancellation_scale = np.maximum(1.0, a[..., 0] ** 2)
+    constraint = np.abs(lorentz_inner(a, a) + beta) <= atol * cancellation_scale
+    sheet = a[..., 0] >= np.sqrt(beta) - atol
+    return constraint & sheet
+
+
+# ------------------------------------------------------------------- Tensor path
+def lorentz_inner_t(a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable Lorentz inner product along the last axis."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    product = a * b
+    return product.sum(axis=-1) - 2.0 * product[..., 0]
+
+
+def lorentz_distance_t(a: Tensor, b: Tensor, beta: float = 1.0) -> Tensor:
+    """Differentiable Lorentz distance ``|⟨a, b⟩_L| − β``."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return lorentz_inner_t(a, b).abs() - beta

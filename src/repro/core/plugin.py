@@ -1,0 +1,177 @@
+"""The LH-plugin: a model-agnostic hyperbolic add-on for trajectory encoders.
+
+The plugin leaves the base Euclidean encoder untouched (Section III).  Around it, it
+adds the two modules of Figure 3:
+
+* **Hyperbolic Projection** — lifts the Euclidean embedding onto the hyperboloid
+  ``H(β)`` (cosh projection by default, vanilla for ablations) so the **Lorentz
+  distance** can be used;
+* **Dynamic Fusion** — blends the Lorentz and Euclidean distances with a per-pair
+  learned proportion ``α_Lo``.
+
+Two call paths are exposed: a differentiable pair path used during training
+(:meth:`LHPlugin.pair_distance`), and a vectorised NumPy path used for retrieval over
+pre-embedded databases (:meth:`LHPlugin.distance_matrix`), mirroring how the paper's
+efficiency experiment pre-embeds trajectories offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Tensor, as_tensor, euclidean_distance, no_grad
+from .config import LHPluginConfig
+from .fusion import DynamicFusion, fuse_distances, lorentz_proportion  # noqa: F401
+from .lorentz import lorentz_distance_matrix, lorentz_distance_t  # noqa: F401
+from .projection import project, project_t, projection_scalars
+
+__all__ = ["LHPlugin", "PluggedEncoder"]
+
+
+class LHPlugin(Module):
+    """Model-agnostic Lorentzian-Hyperbolic plugin (the paper's core contribution)."""
+
+    def __init__(self, config: LHPluginConfig | None = None, **config_kwargs):
+        super().__init__()
+        if config is None:
+            config = LHPluginConfig(**config_kwargs)
+        elif config_kwargs:
+            config = config.with_updates(**config_kwargs)
+        self.config = config
+        self.fusion = DynamicFusion(config) if config.use_fusion else None
+
+    # ----------------------------------------------------------------- projection
+    def project(self, euclidean_embeddings: np.ndarray) -> np.ndarray:
+        """Project Euclidean embeddings onto ``H(β)`` (NumPy, batched)."""
+        return project(euclidean_embeddings, beta=self.config.beta,
+                       c=self.config.compression, method=self.config.projection)
+
+    def project_t(self, euclidean_embedding: Tensor) -> Tensor:
+        """Differentiable projection of a single (or batched) embedding."""
+        return project_t(euclidean_embedding, beta=self.config.beta,
+                         c=self.config.compression, method=self.config.projection)
+
+    # -------------------------------------------------------------- training path
+    def pair_distance(self, embedding_a: Tensor, embedding_b: Tensor,
+                      points_a=None, points_b=None) -> Tensor:
+        """Differentiable plugin distance between two Euclidean embeddings.
+
+        ``points_a`` / ``points_b`` are the raw (normalised) point sequences of the
+        trajectories, needed only when dynamic fusion is enabled.
+        """
+        factors_a = factors_b = None
+        if self.fusion is not None:
+            if points_a is None or points_b is None:
+                raise ValueError("dynamic fusion requires the raw point sequences")
+            factors_a = self.fusion.factors(points_a)
+            factors_b = self.fusion.factors(points_b)
+        return self.pair_distance_from(embedding_a, embedding_b, factors_a, factors_b)
+
+    def pair_distance_from(self, embedding_a: Tensor, embedding_b: Tensor,
+                           factors_a: tuple[Tensor, Tensor] | None = None,
+                           factors_b: tuple[Tensor, Tensor] | None = None) -> Tensor:
+        """Differentiable plugin distance from precomputed embeddings and factors.
+
+        Training loops that reuse a trajectory in several pairs of one batch can call
+        the fusion encoder once per trajectory and pass the factor tensors here.
+        """
+        embedding_a = as_tensor(embedding_a)
+        embedding_b = as_tensor(embedding_b)
+        hyperbolic_a = self.project_t(embedding_a)
+        hyperbolic_b = self.project_t(embedding_b)
+        lorentz = lorentz_distance_t(hyperbolic_a, hyperbolic_b, beta=self.config.beta)
+        if self.fusion is None:
+            return lorentz
+        if factors_a is None or factors_b is None:
+            raise ValueError("dynamic fusion requires factor vectors for both trajectories")
+        euclidean = euclidean_distance(embedding_a, embedding_b)
+        alpha = lorentz_proportion(factors_a[0], factors_a[1], factors_b[0], factors_b[1])
+        return fuse_distances(lorentz, euclidean, alpha)
+
+    # ------------------------------------------------------------- inference path
+    def embed_database(self, euclidean_embeddings: np.ndarray,
+                       point_sequences=None) -> dict:
+        """Precompute everything retrieval needs for a database of embeddings.
+
+        The hyperbolic projection is stored in its compact form (two scalars per
+        embedding, see :func:`~repro.core.projection.projection_scalars`) so the
+        plugin's memory overhead stays small; fusion factor vectors are added when
+        dynamic fusion is enabled.  This is the "pre-embedding" step of the efficiency
+        experiment: it is done once, offline.
+        """
+        euclidean_embeddings = np.asarray(euclidean_embeddings, dtype=np.float64)
+        time_like, space_scale = projection_scalars(
+            euclidean_embeddings, beta=self.config.beta, c=self.config.compression,
+            method=self.config.projection)
+        entry = {
+            "euclidean": euclidean_embeddings,
+            "time_like": time_like,
+            "space_scale": space_scale,
+        }
+        if self.fusion is not None:
+            if point_sequences is None:
+                raise ValueError("dynamic fusion requires the raw point sequences")
+            entry["factors"] = self.fusion.factors_numpy(point_sequences)
+        return entry
+
+    def distance_matrix(self, query_db: dict, database_db: dict | None = None) -> np.ndarray:
+        """All-pairs plugin distances between two pre-embedded databases (NumPy).
+
+        The Lorentz Gram matrix is rebuilt from the shared Euclidean Gram matrix,
+        so the plugin adds only element-wise work on top of the matrix product the
+        Euclidean path needs anyway.
+        """
+        database_db = query_db if database_db is None else database_db
+        queries = query_db["euclidean"]
+        database = database_db["euclidean"]
+        gram = queries @ database.T
+        lorentz_gram = (np.outer(query_db["space_scale"], database_db["space_scale"]) * gram
+                        - np.outer(query_db["time_like"], database_db["time_like"]))
+        lorentz = np.abs(lorentz_gram) - self.config.beta
+        if self.fusion is None:
+            return lorentz
+        squared = ((queries ** 2).sum(axis=1)[:, None]
+                   + (database ** 2).sum(axis=1)[None, :])
+        euclidean = np.sqrt(np.maximum(squared - 2.0 * gram, 0.0))
+        alpha = DynamicFusion.alpha_matrix(query_db["factors"], database_db["factors"])
+        return alpha * lorentz + (1.0 - alpha) * euclidean
+
+
+class PluggedEncoder(Module):
+    """A base trajectory encoder with an :class:`LHPlugin` attached.
+
+    This is the integration layer the paper calls "plug-and-play": the base encoder's
+    architecture, preprocessing and parameters are reused as-is; the plugin only adds
+    its projection (parameter-free) and, optionally, the fusion factor encoder.
+    """
+
+    def __init__(self, base_encoder: Module, plugin: LHPlugin):
+        super().__init__()
+        self.base_encoder = base_encoder
+        self.plugin = plugin
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.base_encoder.embedding_dim
+
+    def prepare(self, trajectory):
+        """Delegate input preparation to the base encoder."""
+        return self.base_encoder.prepare(trajectory)
+
+    def encode(self, prepared) -> Tensor:
+        """Euclidean embedding from the (unchanged) base encoder."""
+        return self.base_encoder.encode(prepared)
+
+    def pair_distance(self, prepared_a, prepared_b, points_a=None, points_b=None) -> Tensor:
+        """Differentiable plugin distance between two prepared trajectories."""
+        embedding_a = self.encode(prepared_a)
+        embedding_b = self.encode(prepared_b)
+        return self.plugin.pair_distance(embedding_a, embedding_b, points_a, points_b)
+
+    def embed_many(self, prepared_list) -> np.ndarray:
+        """Euclidean embeddings for many trajectories without autograd overhead."""
+        embeddings = []
+        with no_grad():
+            for prepared in prepared_list:
+                embeddings.append(self.encode(prepared).data.copy())
+        return np.array(embeddings)

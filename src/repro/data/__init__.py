@@ -1,0 +1,29 @@
+"""``repro.data`` — trajectory containers, synthetic city generators and preprocessing.
+
+Contents: :class:`Trajectory` / :class:`TrajectoryDataset`, synthetic taxi-trajectory
+generation with city presets, grid and quadtree spatial indexing (Neutraj / Tedj /
+TrajGAT preprocessing), coordinate normalisation and NPZ/CSV persistence.
+"""
+
+from .trajectory import Trajectory, TrajectoryDataset, BoundingBox
+from .synthetic import (
+    CityPreset,
+    CITY_PRESETS,
+    generate_dataset,
+    generate_trajectory,
+    available_presets,
+)
+from .grid import Grid, SpatioTemporalGrid
+from .quadtree import QuadTree, QuadTreeNode, trajectory_graph
+from .normalize import Normalizer, remove_stationary_points, clip_to_box
+from .io import save_npz, load_npz, save_csv, load_csv
+
+__all__ = [
+    "Trajectory", "TrajectoryDataset", "BoundingBox",
+    "CityPreset", "CITY_PRESETS", "generate_dataset", "generate_trajectory",
+    "available_presets",
+    "Grid", "SpatioTemporalGrid",
+    "QuadTree", "QuadTreeNode", "trajectory_graph",
+    "Normalizer", "remove_stationary_points", "clip_to_box",
+    "save_npz", "load_npz", "save_csv", "load_csv",
+]

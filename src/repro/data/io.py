@@ -1,0 +1,80 @@
+"""Dataset persistence: NPZ archives and simple CSV import/export.
+
+NPZ is the native format (lossless, fast); CSV follows the common
+``trajectory_id, lon, lat[, t]`` long format used by public taxi datasets so users
+can bring their own data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+
+def save_npz(dataset: TrajectoryDataset, path) -> Path:
+    """Save a dataset to a compressed ``.npz`` archive."""
+    path = Path(path)
+    arrays = {f"trajectory_{i}": t.points for i, t in enumerate(dataset)}
+    ids = np.array([str(t.trajectory_id) for t in dataset])
+    np.savez_compressed(path, __name__=np.array([dataset.name]), __ids__=ids, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path) -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        name = str(archive["__name__"][0]) if "__name__" in archive else "dataset"
+        ids = archive["__ids__"] if "__ids__" in archive else None
+        keys = sorted((k for k in archive.files if k.startswith("trajectory_")),
+                      key=lambda k: int(k.split("_")[1]))
+        trajectories = []
+        for index, key in enumerate(keys):
+            trajectory_id = str(ids[index]) if ids is not None else index
+            trajectories.append(Trajectory(archive[key], trajectory_id=trajectory_id))
+    return TrajectoryDataset(trajectories, name=name)
+
+
+def save_csv(dataset: TrajectoryDataset, path) -> Path:
+    """Save a dataset in long CSV format: trajectory_id, lon, lat[, t]."""
+    path = Path(path)
+    has_time = dataset.has_time
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["trajectory_id", "lon", "lat"] + (["t"] if has_time else [])
+        writer.writerow(header)
+        for trajectory in dataset:
+            for point in trajectory.points:
+                row = [trajectory.trajectory_id, point[0], point[1]]
+                if has_time:
+                    row.append(point[2] if len(point) > 2 else 0.0)
+                writer.writerow(row)
+    return path
+
+
+def load_csv(path, name: str | None = None) -> TrajectoryDataset:
+    """Load a long-format CSV (``trajectory_id, lon, lat[, t]``) into a dataset."""
+    path = Path(path)
+    groups: dict[str, list[list[float]]] = {}
+    order: list[str] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "lon" not in reader.fieldnames:
+            raise ValueError("CSV must have a header with trajectory_id, lon, lat[, t]")
+        has_time = "t" in reader.fieldnames
+        for row in reader:
+            trajectory_id = row["trajectory_id"]
+            if trajectory_id not in groups:
+                groups[trajectory_id] = []
+                order.append(trajectory_id)
+            point = [float(row["lon"]), float(row["lat"])]
+            if has_time:
+                point.append(float(row["t"]))
+            groups[trajectory_id].append(point)
+    trajectories = [Trajectory(np.array(groups[tid]), trajectory_id=tid) for tid in order]
+    return TrajectoryDataset(trajectories, name=name or path.stem)

@@ -1,0 +1,85 @@
+"""Coordinate normalisation and simple trajectory cleaning utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trajectory import BoundingBox, Trajectory, TrajectoryDataset
+
+__all__ = ["Normalizer", "remove_stationary_points", "clip_to_box"]
+
+
+class Normalizer:
+    """Affine normalisation of trajectory coordinates to the unit square.
+
+    Fitted on a dataset (or bounding box), it maps (lon, lat) into ``[0, 1]²`` and can
+    invert the mapping.  Timestamps, when present, are min-max normalised separately.
+    """
+
+    def __init__(self, bounding_box: BoundingBox, time_range: tuple[float, float] | None = None):
+        self.bounding_box = bounding_box
+        self.time_range = time_range
+
+    @staticmethod
+    def fit(dataset: TrajectoryDataset) -> "Normalizer":
+        """Fit a normaliser to a dataset's spatial (and temporal) extent."""
+        time_range = None
+        if dataset.has_time:
+            times = np.concatenate([t.timestamps for t in dataset])
+            time_range = (float(times.min()), float(times.max()))
+        return Normalizer(dataset.bounding_box, time_range)
+
+    def transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Normalise a raw point array."""
+        points = np.asarray(points, dtype=np.float64).copy()
+        box = self.bounding_box
+        points[:, 0] = (points[:, 0] - box.min_lon) / max(box.width, 1e-12)
+        points[:, 1] = (points[:, 1] - box.min_lat) / max(box.height, 1e-12)
+        if points.shape[1] == 3:
+            if self.time_range is None:
+                raise ValueError("normaliser was fitted without a time range")
+            start, stop = self.time_range
+            points[:, 2] = (points[:, 2] - start) / max(stop - start, 1e-12)
+        return points
+
+    def inverse_transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform_points`."""
+        points = np.asarray(points, dtype=np.float64).copy()
+        box = self.bounding_box
+        points[:, 0] = points[:, 0] * max(box.width, 1e-12) + box.min_lon
+        points[:, 1] = points[:, 1] * max(box.height, 1e-12) + box.min_lat
+        if points.shape[1] == 3:
+            if self.time_range is None:
+                raise ValueError("normaliser was fitted without a time range")
+            start, stop = self.time_range
+            points[:, 2] = points[:, 2] * max(stop - start, 1e-12) + start
+        return points
+
+    def transform(self, trajectory: Trajectory) -> Trajectory:
+        """Normalise one trajectory."""
+        return Trajectory(self.transform_points(trajectory.points),
+                          trajectory.trajectory_id, dict(trajectory.metadata))
+
+    def transform_dataset(self, dataset: TrajectoryDataset) -> TrajectoryDataset:
+        """Normalise every trajectory of a dataset."""
+        return dataset.map(self.transform, name=f"{dataset.name}-normalized")
+
+
+def remove_stationary_points(trajectory: Trajectory, min_step: float = 1e-6) -> Trajectory:
+    """Drop consecutive points closer than ``min_step`` (GPS idling)."""
+    points = trajectory.points
+    keep = [0]
+    for index in range(1, len(points)):
+        step = np.linalg.norm(points[index, :2] - points[keep[-1], :2])
+        if step >= min_step:
+            keep.append(index)
+    return Trajectory(points[keep], trajectory.trajectory_id, dict(trajectory.metadata))
+
+
+def clip_to_box(trajectory: Trajectory, box: BoundingBox) -> Trajectory | None:
+    """Keep only points inside ``box``; returns None if nothing remains."""
+    points = trajectory.points
+    inside = np.array([box.contains(lon, lat) for lon, lat in points[:, :2]])
+    if not inside.any():
+        return None
+    return Trajectory(points[inside], trajectory.trajectory_id, dict(trajectory.metadata))

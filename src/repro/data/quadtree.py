@@ -1,0 +1,169 @@
+"""Quadtree spatial index (TrajGAT preprocessing).
+
+TrajGAT converts each trajectory into a graph whose nodes are the trajectory points
+plus the quadtree cells that contain them, then runs graph attention over that
+structure.  This module provides the quadtree itself and the trajectory-to-graph
+conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .trajectory import BoundingBox, Trajectory, TrajectoryDataset
+
+__all__ = ["QuadTreeNode", "QuadTree", "trajectory_graph"]
+
+
+@dataclass
+class QuadTreeNode:
+    """One node (cell) of the quadtree."""
+
+    box: BoundingBox
+    depth: int
+    node_id: int
+    children: list["QuadTreeNode"] = field(default_factory=list)
+    count: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.box.min_lon + self.box.max_lon),
+                0.5 * (self.box.min_lat + self.box.max_lat))
+
+
+class QuadTree:
+    """Point-region quadtree built over a set of points.
+
+    Cells split when they hold more than ``max_points`` points and are shallower than
+    ``max_depth``.  Every node gets a stable integer id usable as an embedding token.
+    """
+
+    def __init__(self, bounding_box: BoundingBox, max_points: int = 16, max_depth: int = 6):
+        if max_points <= 0 or max_depth <= 0:
+            raise ValueError("max_points and max_depth must be positive")
+        self.max_points = max_points
+        self.max_depth = max_depth
+        self._nodes: list[QuadTreeNode] = []
+        self.root = self._new_node(bounding_box, depth=0)
+
+    # ---------------------------------------------------------------- building
+    def _new_node(self, box: BoundingBox, depth: int) -> QuadTreeNode:
+        node = QuadTreeNode(box=box, depth=depth, node_id=len(self._nodes))
+        self._nodes.append(node)
+        return node
+
+    def _split(self, node: QuadTreeNode) -> None:
+        box = node.box
+        mid_lon = 0.5 * (box.min_lon + box.max_lon)
+        mid_lat = 0.5 * (box.min_lat + box.max_lat)
+        quadrants = [
+            BoundingBox(box.min_lon, box.min_lat, mid_lon, mid_lat),
+            BoundingBox(mid_lon, box.min_lat, box.max_lon, mid_lat),
+            BoundingBox(box.min_lon, mid_lat, mid_lon, box.max_lat),
+            BoundingBox(mid_lon, mid_lat, box.max_lon, box.max_lat),
+        ]
+        node.children = [self._new_node(quadrant, node.depth + 1) for quadrant in quadrants]
+
+    def _child_for(self, node: QuadTreeNode, lon: float, lat: float) -> QuadTreeNode:
+        mid_lon = 0.5 * (node.box.min_lon + node.box.max_lon)
+        mid_lat = 0.5 * (node.box.min_lat + node.box.max_lat)
+        index = (1 if lon >= mid_lon else 0) + (2 if lat >= mid_lat else 0)
+        return node.children[index]
+
+    def insert(self, lon: float, lat: float) -> QuadTreeNode:
+        """Insert a point; returns the leaf cell it lands in."""
+        node = self.root
+        node.count += 1
+        while True:
+            if node.is_leaf:
+                if node.count > self.max_points and node.depth < self.max_depth:
+                    self._split(node)
+                else:
+                    return node
+            node = self._child_for(node, lon, lat)
+            node.count += 1
+
+    @staticmethod
+    def for_dataset(dataset: TrajectoryDataset, max_points: int = 16,
+                    max_depth: int = 6, margin: float = 1e-6) -> "QuadTree":
+        """Build a quadtree over all points of a dataset."""
+        tree = QuadTree(dataset.bounding_box.expanded(margin), max_points, max_depth)
+        for trajectory in dataset:
+            for lon, lat in trajectory.coordinates:
+                tree.insert(lon, lat)
+        return tree
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[QuadTreeNode]:
+        return list(self._nodes)
+
+    def leaf_for(self, lon: float, lat: float) -> QuadTreeNode:
+        """Leaf cell containing a point (without inserting it)."""
+        node = self.root
+        while not node.is_leaf:
+            node = self._child_for(node, lon, lat)
+        return node
+
+    def path_to_leaf(self, lon: float, lat: float) -> list[QuadTreeNode]:
+        """Root-to-leaf chain of cells containing a point."""
+        node = self.root
+        path = [node]
+        while not node.is_leaf:
+            node = self._child_for(node, lon, lat)
+            path.append(node)
+        return path
+
+    def depth(self) -> int:
+        """Maximum depth among all nodes."""
+        return max(node.depth for node in self._nodes)
+
+
+def trajectory_graph(trajectory: Trajectory, tree: QuadTree) -> tuple[np.ndarray, np.ndarray]:
+    """Build TrajGAT's per-trajectory graph.
+
+    Nodes are the trajectory points followed by the distinct quadtree leaves they fall
+    into.  Edges connect consecutive trajectory points, each point to its leaf cell,
+    and leaves that share consecutive points.  Returns ``(features, adjacency)`` where
+    features are ``(x, y, depth_flag)`` rows (depth_flag is 0 for points, normalised
+    depth for cells) and adjacency is a dense boolean matrix with self-loops.
+    """
+    coords = trajectory.coordinates
+    leaves = [tree.leaf_for(lon, lat) for lon, lat in coords]
+    distinct: list[QuadTreeNode] = []
+    leaf_index: dict[int, int] = {}
+    for leaf in leaves:
+        if leaf.node_id not in leaf_index:
+            leaf_index[leaf.node_id] = len(distinct)
+            distinct.append(leaf)
+
+    num_points = len(coords)
+    num_nodes = num_points + len(distinct)
+    features = np.zeros((num_nodes, 3))
+    features[:num_points, :2] = coords
+    max_depth = max(tree.depth(), 1)
+    for offset, leaf in enumerate(distinct):
+        features[num_points + offset, :2] = leaf.center
+        features[num_points + offset, 2] = leaf.depth / max_depth
+
+    adjacency = np.eye(num_nodes, dtype=bool)
+    for i in range(num_points - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = True
+    for i, leaf in enumerate(leaves):
+        j = num_points + leaf_index[leaf.node_id]
+        adjacency[i, j] = adjacency[j, i] = True
+    for i in range(num_points - 1):
+        a = num_points + leaf_index[leaves[i].node_id]
+        b = num_points + leaf_index[leaves[i + 1].node_id]
+        adjacency[a, b] = adjacency[b, a] = True
+    return features, adjacency

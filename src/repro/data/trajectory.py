@@ -1,0 +1,215 @@
+"""Trajectory and dataset containers.
+
+A :class:`Trajectory` wraps an ``(n, 2)`` or ``(n, 3)`` array of ``(lon, lat[, t])``
+points plus optional metadata; a :class:`TrajectoryDataset` is an ordered collection
+with convenience accessors for splits, bounding boxes and per-trajectory statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Trajectory", "TrajectoryDataset", "BoundingBox"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box in (lon, lat) space."""
+
+    min_lon: float
+    min_lat: float
+    max_lon: float
+    max_lat: float
+
+    @property
+    def width(self) -> float:
+        return self.max_lon - self.min_lon
+
+    @property
+    def height(self) -> float:
+        return self.max_lat - self.min_lat
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """Whether a point lies inside (inclusive) the box."""
+        return (self.min_lon <= lon <= self.max_lon) and (self.min_lat <= lat <= self.max_lat)
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        return BoundingBox(self.min_lon - margin, self.min_lat - margin,
+                           self.max_lon + margin, self.max_lat + margin)
+
+    @staticmethod
+    def of_points(points: np.ndarray) -> "BoundingBox":
+        points = np.asarray(points, dtype=np.float64)
+        return BoundingBox(float(points[:, 0].min()), float(points[:, 1].min()),
+                           float(points[:, 0].max()), float(points[:, 1].max()))
+
+
+class Trajectory:
+    """A single trajectory: a point sequence with an identifier and metadata."""
+
+    __slots__ = ("points", "trajectory_id", "metadata")
+
+    def __init__(self, points, trajectory_id: int | str = 0, metadata: dict | None = None):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] not in (2, 3):
+            raise ValueError("points must be an (n, 2) or (n, 3) array")
+        if len(points) == 0:
+            raise ValueError("a trajectory needs at least one point")
+        self.points = points
+        self.trajectory_id = trajectory_id
+        self.metadata = metadata or {}
+
+    # ------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    def __repr__(self) -> str:
+        return f"Trajectory(id={self.trajectory_id!r}, points={len(self)})"
+
+    @property
+    def has_time(self) -> bool:
+        return self.points.shape[1] == 3
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The spatial (lon, lat) columns."""
+        return self.points[:, :2]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """The time column; raises if the trajectory is purely spatial."""
+        if not self.has_time:
+            raise AttributeError("trajectory has no time column")
+        return self.points[:, 2]
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of_points(self.coordinates)
+
+    def length(self) -> float:
+        """Total travelled (polyline) length in coordinate units."""
+        if len(self.points) < 2:
+            return 0.0
+        steps = np.diff(self.coordinates, axis=0)
+        return float(np.sqrt((steps ** 2).sum(axis=1)).sum())
+
+    def resample(self, num_points: int) -> "Trajectory":
+        """Return a copy resampled to ``num_points`` by linear interpolation."""
+        if num_points < 2:
+            raise ValueError("num_points must be at least 2")
+        positions = np.linspace(0.0, len(self.points) - 1.0, num_points)
+        lower = np.floor(positions).astype(int)
+        upper = np.minimum(lower + 1, len(self.points) - 1)
+        weight = (positions - lower)[:, None]
+        resampled = (1.0 - weight) * self.points[lower] + weight * self.points[upper]
+        return Trajectory(resampled, self.trajectory_id, dict(self.metadata))
+
+    def downsample(self, keep_every: int) -> "Trajectory":
+        """Keep every ``keep_every``-th point (the last point is always kept)."""
+        if keep_every < 1:
+            raise ValueError("keep_every must be >= 1")
+        indices = list(range(0, len(self.points), keep_every))
+        if indices[-1] != len(self.points) - 1:
+            indices.append(len(self.points) - 1)
+        return Trajectory(self.points[indices], self.trajectory_id, dict(self.metadata))
+
+    def spatial_only(self) -> "Trajectory":
+        """Drop the time column, if present."""
+        return Trajectory(self.coordinates.copy(), self.trajectory_id, dict(self.metadata))
+
+
+class TrajectoryDataset:
+    """An ordered collection of trajectories with split/statistics helpers."""
+
+    def __init__(self, trajectories: Sequence[Trajectory], name: str = "dataset"):
+        self.trajectories = list(trajectories)
+        if not self.trajectories:
+            raise ValueError("a dataset needs at least one trajectory")
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TrajectoryDataset(self.trajectories[index], name=self.name)
+        return self.trajectories[index]
+
+    def __repr__(self) -> str:
+        return f"TrajectoryDataset(name={self.name!r}, size={len(self)})"
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        boxes = [t.bounding_box for t in self.trajectories]
+        return BoundingBox(
+            min(b.min_lon for b in boxes), min(b.min_lat for b in boxes),
+            max(b.max_lon for b in boxes), max(b.max_lat for b in boxes),
+        )
+
+    @property
+    def has_time(self) -> bool:
+        return all(t.has_time for t in self.trajectories)
+
+    def point_arrays(self, spatial_only: bool = False) -> list[np.ndarray]:
+        """Raw point arrays for every trajectory (the format distances expect)."""
+        if spatial_only:
+            return [t.coordinates for t in self.trajectories]
+        return [t.points for t in self.trajectories]
+
+    def lengths(self) -> np.ndarray:
+        """Number of points per trajectory."""
+        return np.array([len(t) for t in self.trajectories])
+
+    def statistics(self) -> dict:
+        """Summary statistics used in dataset tables."""
+        lengths = self.lengths()
+        travelled = np.array([t.length() for t in self.trajectories])
+        return {
+            "size": len(self),
+            "mean_points": float(lengths.mean()),
+            "min_points": int(lengths.min()),
+            "max_points": int(lengths.max()),
+            "mean_travelled_length": float(travelled.mean()),
+            "has_time": self.has_time,
+        }
+
+    def split(self, fractions: Sequence[float], seed: int = 0) -> list["TrajectoryDataset"]:
+        """Random split into parts proportional to ``fractions`` (must sum to <= 1)."""
+        if any(f <= 0 for f in fractions):
+            raise ValueError("fractions must be positive")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ValueError("fractions must sum to at most 1")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        counts = [int(round(f * len(self))) for f in fractions]
+        parts = []
+        start = 0
+        for index, count in enumerate(counts):
+            stop = start + count if index < len(counts) - 1 else min(start + count, len(self))
+            chosen = [self.trajectories[i] for i in order[start:stop]]
+            parts.append(TrajectoryDataset(chosen, name=f"{self.name}-part{index}"))
+            start = stop
+        return parts
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "TrajectoryDataset":
+        """Dataset restricted to the given indices (order preserved)."""
+        chosen = [self.trajectories[i] for i in indices]
+        return TrajectoryDataset(chosen, name=name or f"{self.name}-subset")
+
+    def map(self, func, name: str | None = None) -> "TrajectoryDataset":
+        """Apply ``func`` to every trajectory and wrap the results."""
+        return TrajectoryDataset([func(t) for t in self.trajectories],
+                                 name=name or self.name)

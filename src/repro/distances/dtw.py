@@ -1,0 +1,58 @@
+"""Dynamic Time Warping (DTW) trajectory distance.
+
+DTW aligns the two point sequences with a monotone warping path and sums the point
+distances along the optimal alignment (Formula 1 of the paper).  It does not satisfy
+the triangle inequality, which is the central premise of the LH-plugin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_points, point_distance_matrix, register_distance
+
+__all__ = ["dtw_distance", "dtw_distance_with_path"]
+
+
+def _dtw_table(cost: np.ndarray) -> np.ndarray:
+    """Fill the DTW dynamic-programming table for a point-cost matrix."""
+    n, m = cost.shape
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        row_cost = cost[i - 1]
+        previous = table[i - 1]
+        current = table[i]
+        for j in range(1, m + 1):
+            best = min(previous[j], current[j - 1], previous[j - 1])
+            current[j] = row_cost[j - 1] + best
+    return table
+
+
+@register_distance("dtw", is_metric=False)
+def dtw_distance(trajectory_a, trajectory_b) -> float:
+    """DTW distance between two trajectories (sum-of-costs formulation)."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    cost = point_distance_matrix(a, b)
+    return float(_dtw_table(cost)[len(a), len(b)])
+
+
+def dtw_distance_with_path(trajectory_a, trajectory_b) -> tuple[float, list[tuple[int, int]]]:
+    """DTW distance together with the optimal warping path (for diagnostics)."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    cost = point_distance_matrix(a, b)
+    table = _dtw_table(cost)
+    i, j = len(a), len(b)
+    path = [(i - 1, j - 1)]
+    while (i, j) != (1, 1):
+        moves = [
+            (table[i - 1, j - 1], i - 1, j - 1),
+            (table[i - 1, j], i - 1, j),
+            (table[i, j - 1], i, j - 1),
+        ]
+        _, i, j = min(moves, key=lambda item: item[0])
+        path.append((i - 1, j - 1))
+    path.reverse()
+    return float(table[len(a), len(b)]), path

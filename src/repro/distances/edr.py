@@ -1,0 +1,48 @@
+"""Edit Distance on Real sequences (EDR), Chen et al. (SIGMOD 2005).
+
+EDR counts the minimum number of edit operations (insert, delete, substitute) needed
+to transform one point sequence into the other, where two points "match" (cost 0)
+when both coordinates are within ``epsilon``.  EDR tolerates noise but violates the
+triangle inequality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_points, register_distance
+
+__all__ = ["edr_distance", "edr_distance_normalized"]
+
+
+def _edr_table(a: np.ndarray, b: np.ndarray, epsilon: float) -> np.ndarray:
+    n, m = len(a), len(b)
+    match = (np.abs(a[:, None, :] - b[None, :, :]) <= epsilon).all(axis=-1)
+    table = np.zeros((n + 1, m + 1))
+    table[:, 0] = np.arange(n + 1)
+    table[0, :] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        previous = table[i - 1]
+        current = table[i]
+        row_match = match[i - 1]
+        for j in range(1, m + 1):
+            substitution = previous[j - 1] + (0.0 if row_match[j - 1] else 1.0)
+            current[j] = min(substitution, previous[j] + 1.0, current[j - 1] + 1.0)
+    return table
+
+
+@register_distance("edr", is_metric=False)
+def edr_distance(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+    """EDR distance with matching threshold ``epsilon`` (in coordinate units)."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    return float(_edr_table(a, b, epsilon)[len(a), len(b)])
+
+
+def edr_distance_normalized(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+    """EDR divided by the longer sequence length, in ``[0, 1]``."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    return float(_edr_table(a, b, epsilon)[len(a), len(b)]) / max(len(a), len(b))

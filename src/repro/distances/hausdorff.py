@@ -1,0 +1,31 @@
+"""Hausdorff distance between trajectories (point-set formulation).
+
+The (symmetric) Hausdorff distance is the largest of the two directed distances
+``max_a min_b d(a, b)`` and ``max_b min_a d(b, a)``.  It is a true metric on point
+sets, so it serves as a non-violating control in the triangle-inequality analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_points, point_distance_matrix, register_distance
+
+__all__ = ["hausdorff_distance", "directed_hausdorff_distance"]
+
+
+def directed_hausdorff_distance(trajectory_a, trajectory_b) -> float:
+    """Directed Hausdorff distance from ``trajectory_a`` to ``trajectory_b``."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    cost = point_distance_matrix(a, b)
+    return float(cost.min(axis=1).max())
+
+
+@register_distance("hausdorff", is_metric=True)
+def hausdorff_distance(trajectory_a, trajectory_b) -> float:
+    """Symmetric Hausdorff distance."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    cost = point_distance_matrix(a, b)
+    return float(max(cost.min(axis=1).max(), cost.min(axis=0).max()))

@@ -1,0 +1,45 @@
+"""Longest Common Sub-Sequence (LCSS) based trajectory distance.
+
+Two points match when both coordinate differences are below ``epsilon``.  The LCSS
+similarity is the length of the longest common subsequence; the derived distance is
+``1 − LCSS / min(n, m)``, which lies in ``[0, 1]`` and is robust to outliers but not a
+metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_points, register_distance
+
+__all__ = ["lcss_similarity", "lcss_distance"]
+
+
+def lcss_similarity(trajectory_a, trajectory_b, epsilon: float = 0.25) -> int:
+    """Length of the longest common subsequence under the ``epsilon`` matching rule."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    match = (np.abs(a[:, None, :] - b[None, :, :]) <= epsilon).all(axis=-1)
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        previous = table[i - 1]
+        current = table[i]
+        row_match = match[i - 1]
+        for j in range(1, m + 1):
+            if row_match[j - 1]:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+    return int(table[n, m])
+
+
+@register_distance("lcss", is_metric=False)
+def lcss_distance(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+    """LCSS distance ``1 − LCSS/min(n, m)`` in ``[0, 1]``."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    common = lcss_similarity(a, b, epsilon=epsilon)
+    return 1.0 - common / min(len(a), len(b))

@@ -1,0 +1,99 @@
+"""Pairwise ground-truth distance matrices and nearest-neighbour extraction.
+
+Similarity-learning experiments need the full matrix of trajectory distances for the
+training set (to supervise the encoder) and for query/database splits (to define the
+retrieval ground truth).  These helpers compute such matrices for any registered
+distance measure and derive k-nearest-neighbour lists from them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .base import get_distance
+
+__all__ = [
+    "pairwise_distance_matrix",
+    "cross_distance_matrix",
+    "knn_from_matrix",
+    "normalize_matrix",
+]
+
+
+def _resolve(measure) -> Callable:
+    if callable(measure):
+        return measure
+    return get_distance(measure)
+
+
+def pairwise_distance_matrix(trajectories: Sequence, measure="dtw",
+                             **measure_kwargs) -> np.ndarray:
+    """Symmetric matrix of distances between every pair of ``trajectories``."""
+    distance = _resolve(measure)
+    n = len(trajectories)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = distance(trajectories[i], trajectories[j], **measure_kwargs)
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix
+
+
+def cross_distance_matrix(queries: Sequence, database: Sequence, measure="dtw",
+                          **measure_kwargs) -> np.ndarray:
+    """Matrix of distances from every query to every database trajectory."""
+    distance = _resolve(measure)
+    matrix = np.zeros((len(queries), len(database)))
+    for i, query in enumerate(queries):
+        for j, candidate in enumerate(database):
+            matrix[i, j] = distance(query, candidate, **measure_kwargs)
+    return matrix
+
+
+def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> np.ndarray:
+    """Indices of the ``k`` nearest columns for every row of a distance matrix.
+
+    Parameters
+    ----------
+    matrix:
+        (n_queries, n_database) distance matrix.
+    k:
+        Number of neighbours to return per row.
+    exclude_self:
+        If True the diagonal entry (same index) is removed from each row's candidates,
+        which is the convention when queries are drawn from the database itself.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    working = matrix.copy()
+    if exclude_self:
+        limit = min(working.shape)
+        working[np.arange(limit), np.arange(limit)] = np.inf
+    order = np.argsort(working, axis=1, kind="stable")
+    return order[:, :k]
+
+
+def normalize_matrix(matrix: np.ndarray, method: str = "mean") -> np.ndarray:
+    """Scale a distance matrix so the learning targets are well conditioned.
+
+    ``"mean"`` divides by the mean off-diagonal distance, ``"max"`` by the maximum,
+    and ``"none"`` returns a copy unchanged.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if method == "none":
+        return matrix.copy()
+    off_diagonal = matrix[~np.eye(matrix.shape[0], M=matrix.shape[1], dtype=bool)] \
+        if matrix.shape[0] == matrix.shape[1] else matrix.ravel()
+    if method == "mean":
+        scale = off_diagonal.mean()
+    elif method == "max":
+        scale = off_diagonal.max()
+    else:
+        raise ValueError(f"unknown normalisation method '{method}'")
+    if scale <= 0:
+        return matrix.copy()
+    return matrix / scale

@@ -1,0 +1,54 @@
+"""Symmetrised Segment-Path Distance (SSPD).
+
+Besse et al. (2015) define SSPD as the mean, over the points of one trajectory, of the
+distance from each point to the other trajectory's polyline (point-to-segment
+distance), symmetrised by averaging both directions.  SSPD is shape-based (no point
+alignment) and does not satisfy the triangle inequality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_points, register_distance
+
+__all__ = ["sspd_distance", "point_to_trajectory_distance"]
+
+
+def _point_to_segments(point: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> float:
+    """Minimum distance from ``point`` to any of the segments ``starts[i]→ends[i]``."""
+    segment = ends - starts
+    length_sq = (segment ** 2).sum(axis=1)
+    # Degenerate (zero-length) segments collapse to their start point.
+    safe_length = np.where(length_sq > 0.0, length_sq, 1.0)
+    t = ((point - starts) * segment).sum(axis=1) / safe_length
+    t = np.clip(t, 0.0, 1.0)
+    projection = starts + t[:, None] * segment
+    projection = np.where(length_sq[:, None] > 0.0, projection, starts)
+    distances = np.sqrt(((point - projection) ** 2).sum(axis=1))
+    return float(distances.min())
+
+
+def point_to_trajectory_distance(point, trajectory) -> float:
+    """Distance from a single point to the polyline of ``trajectory``."""
+    points = as_points(trajectory)
+    point = np.asarray(point, dtype=np.float64)[:2]
+    if len(points) == 1:
+        return float(np.sqrt(((point - points[0]) ** 2).sum()))
+    return _point_to_segments(point, points[:-1], points[1:])
+
+
+def _one_sided_spd(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean distance of every point of ``a`` to the polyline of ``b``."""
+    if len(b) == 1:
+        return float(np.sqrt(((a - b[0]) ** 2).sum(axis=1)).mean())
+    starts, ends = b[:-1], b[1:]
+    return float(np.mean([_point_to_segments(p, starts, ends) for p in a]))
+
+
+@register_distance("sspd", is_metric=False)
+def sspd_distance(trajectory_a, trajectory_b) -> float:
+    """Symmetrised segment-path distance between two trajectories."""
+    a = as_points(trajectory_a)
+    b = as_points(trajectory_b)
+    return 0.5 * (_one_sided_spd(a, b) + _one_sided_spd(b, a))

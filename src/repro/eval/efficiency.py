@@ -1,0 +1,98 @@
+"""Latency and memory probes for the efficiency experiment (Table V).
+
+The paper's efficiency study pre-embeds the trajectory database offline and measures
+the *online* retrieval cost: given a query embedding, compute its distance to every
+database embedding and take the top-k.  The plugin adds a per-pair O(d) overhead
+(projection is folded into the pre-embedding; fusion adds two inner products), so its
+relative cost shrinks as the database grows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core import LHPlugin
+from .retrieval import euclidean_distance_matrix
+
+__all__ = [
+    "time_callable",
+    "database_memory_bytes",
+    "retrieval_latency",
+    "EfficiencyResult",
+]
+
+
+class EfficiencyResult(dict):
+    """Dict-like result of one efficiency measurement (keeps key order for reporting)."""
+
+
+def time_callable(func: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock time of ``func()`` over ``repeats`` runs (seconds)."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def database_memory_bytes(database: dict | np.ndarray) -> int:
+    """Bytes consumed by a pre-embedded database (plain embeddings or plugin dict)."""
+    if isinstance(database, np.ndarray):
+        return int(database.nbytes)
+    total = 0
+    for value in database.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, tuple):
+            total += sum(item.nbytes for item in value if isinstance(item, np.ndarray))
+    return int(total)
+
+
+def _brute_force_topk_euclidean(queries: np.ndarray, database: np.ndarray, k: int) -> np.ndarray:
+    distances = euclidean_distance_matrix(queries, database)
+    return np.argsort(distances, axis=1)[:, :k]
+
+
+def retrieval_latency(query_embeddings: np.ndarray, database_embeddings: np.ndarray,
+                      k: int = 10, plugin: LHPlugin | None = None,
+                      query_sequences=None, database_sequences=None,
+                      repeats: int = 3) -> EfficiencyResult:
+    """Measure top-k retrieval latency and database memory, with or without the plugin.
+
+    Without a plugin, retrieval is brute-force Euclidean top-k.  With a plugin, the
+    database is pre-embedded once (projection + factor vectors, excluded from the
+    online latency, as in the paper) and the online step computes the fused distance
+    matrix before the top-k selection.
+    """
+    query_embeddings = np.asarray(query_embeddings, dtype=np.float64)
+    database_embeddings = np.asarray(database_embeddings, dtype=np.float64)
+    k = min(k, len(database_embeddings))
+
+    if plugin is None:
+        database: dict | np.ndarray = database_embeddings
+
+        def run() -> np.ndarray:
+            return _brute_force_topk_euclidean(query_embeddings, database_embeddings, k)
+    else:
+        database = plugin.embed_database(database_embeddings, database_sequences)
+        query_db = plugin.embed_database(query_embeddings, query_sequences)
+
+        def run() -> np.ndarray:
+            distances = plugin.distance_matrix(query_db, database)
+            return np.argsort(distances, axis=1)[:, :k]
+
+    latency = time_callable(run, repeats=repeats)
+    return EfficiencyResult(
+        latency_seconds=latency,
+        memory_bytes=database_memory_bytes(database),
+        database_size=len(database_embeddings),
+        num_queries=len(query_embeddings),
+        k=k,
+        with_plugin=plugin is not None,
+    )

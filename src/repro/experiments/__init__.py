@@ -1,0 +1,43 @@
+"""``repro.experiments`` — one harness per table and figure of the paper.
+
+============  ==========================================================
+Experiment    Module
+============  ==========================================================
+Figure 1      :mod:`repro.experiments.fig1_violation_accuracy`
+Table I       :mod:`repro.experiments.table1_constraint_variability`
+Table III     :mod:`repro.experiments.table3_accuracy`
+Table IV      :mod:`repro.experiments.table4_spatiotemporal`
+Figure 5      :mod:`repro.experiments.fig5_rvs_distribution`
+Table V       :mod:`repro.experiments.table5_efficiency`
+Figure 6      :mod:`repro.experiments.fig6_scalability`
+Figure 7      :mod:`repro.experiments.fig7_robustness`
+Table VI      :mod:`repro.experiments.table6_ablation`
+Figure 8      :mod:`repro.experiments.fig8_hyperparams`
+============  ==========================================================
+
+Every module exposes ``run(...) -> dict`` and ``format_result(result) -> str``; the
+corresponding benchmark in ``benchmarks/`` calls ``run`` once and prints the table.
+"""
+
+from .runner import ExperimentSettings, VARIANTS, prepare_experiment, make_plugin, train_variant
+from .reporting import format_table, format_float, format_percent, percent_increase
+from . import (
+    fig1_violation_accuracy,
+    table1_constraint_variability,
+    table3_accuracy,
+    table4_spatiotemporal,
+    fig5_rvs_distribution,
+    table5_efficiency,
+    fig6_scalability,
+    fig7_robustness,
+    table6_ablation,
+    fig8_hyperparams,
+)
+
+__all__ = [
+    "ExperimentSettings", "VARIANTS", "prepare_experiment", "make_plugin", "train_variant",
+    "format_table", "format_float", "format_percent", "percent_increase",
+    "fig1_violation_accuracy", "table1_constraint_variability", "table3_accuracy",
+    "table4_spatiotemporal", "fig5_rvs_distribution", "table5_efficiency",
+    "fig6_scalability", "fig7_robustness", "table6_ablation", "fig8_hyperparams",
+]

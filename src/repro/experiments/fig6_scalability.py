@@ -1,0 +1,70 @@
+"""Figure 6 — scalability: accuracy versus training-data fraction.
+
+Models are trained on 20%–100% of the trajectory database and evaluated on the full
+database.  Expected shape: accuracy rises with the training fraction for both the
+original model and the plugin variant, and the plugin curve sits above the original
+at every fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eval import evaluate_retrieval
+from .reporting import format_float, format_table
+from .runner import ExperimentSettings, make_plugin, prepare_experiment
+from ..models import get_model
+from ..training import SimilarityTrainer
+
+__all__ = ["run", "format_result"]
+
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run(settings: ExperimentSettings | None = None, fractions=DEFAULT_FRACTIONS) -> dict:
+    """Train on increasing fractions of the database and evaluate on all of it."""
+    settings = settings or ExperimentSettings()
+    dataset, truth = prepare_experiment(settings)
+    results: dict[str, list[dict]] = {"original": [], "fusion-dist": []}
+
+    for fraction in fractions:
+        train_count = max(int(round(fraction * len(dataset))), 4)
+        train_indices = list(range(train_count))
+        train_dataset = dataset.subset(train_indices)
+        train_truth = truth[np.ix_(train_indices, train_indices)]
+        for variant in results:
+            encoder_cls = get_model(settings.model)
+            encoder = encoder_cls.build(dataset, embedding_dim=settings.embedding_dim,
+                                        hidden_dim=settings.hidden_dim, seed=settings.seed)
+            plugin = make_plugin(settings, variant)
+            trainer = SimilarityTrainer(encoder, plugin=plugin,
+                                        learning_rate=settings.learning_rate,
+                                        batch_size=settings.batch_size,
+                                        num_nearest=settings.num_nearest,
+                                        num_random=settings.num_random, seed=settings.seed)
+            trainer.fit(train_dataset, train_truth, epochs=settings.epochs)
+            predicted = trainer.model_distance_matrix(dataset)
+            metrics = evaluate_retrieval(predicted, truth, hr_ks=settings.hr_ks,
+                                         ndcg_ks=settings.ndcg_ks)
+            results[variant].append({"fraction": fraction, "train_size": train_count,
+                                     "metrics": metrics})
+    return {"settings": settings, "fractions": list(fractions), "results": results}
+
+
+def format_result(result: dict, metric: str = "hr@10") -> str:
+    """Render the Figure 6 analogue: one metric as a function of the training fraction."""
+    available = result["results"]["original"][0]["metrics"]
+    if metric not in available:
+        metric = next(iter(available))
+    headers = ["training fraction", "train size", f"original {metric}", f"LH-plugin {metric}"]
+    rows = []
+    for index, fraction in enumerate(result["fractions"]):
+        original = result["results"]["original"][index]
+        plugin = result["results"]["fusion-dist"][index]
+        rows.append([
+            f"{int(fraction * 100)}%",
+            original["train_size"],
+            format_float(original["metrics"][metric], 4),
+            format_float(plugin["metrics"][metric], 4),
+        ])
+    return format_table(headers, rows, title="Figure 6: scalability with training-data size")

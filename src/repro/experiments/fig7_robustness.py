@@ -1,0 +1,58 @@
+"""Figure 7 — robustness: per-epoch accuracy curves, original vs LH-plugin.
+
+Both variants are trained with per-epoch retrieval evaluation enabled; the harness
+reports the HR@10 curve and its fluctuation (standard deviation of epoch-to-epoch
+changes).  Expected shape: the plugin's curve is smoother (smaller fluctuation) and
+ends at or above the original's accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .reporting import format_float, format_table
+from .runner import ExperimentSettings, prepare_experiment, train_variant
+
+__all__ = ["run", "format_result"]
+
+
+def _fluctuation(curve: list[float]) -> float:
+    if len(curve) < 2:
+        return 0.0
+    return float(np.std(np.diff(curve)))
+
+
+def run(settings: ExperimentSettings | None = None, metric: str = "hr@10") -> dict:
+    """Train both variants with per-epoch evaluation and extract the accuracy curves."""
+    settings = settings or ExperimentSettings(epochs=5)
+    dataset, truth = prepare_experiment(settings)
+    curves = {}
+    for variant in ("original", "fusion-dist"):
+        outcome = train_variant(settings, dataset, truth, variant, eval_every_epoch=True)
+        curve = outcome["history"].metric_curve(metric)
+        curves[variant] = {
+            "curve": [float(value) for value in curve],
+            "final": float(curve[-1]) if curve else 0.0,
+            "fluctuation": _fluctuation(curve),
+            "losses": list(outcome["history"].losses),
+        }
+    return {"settings": settings, "metric": metric, "curves": curves}
+
+
+def format_result(result: dict) -> str:
+    """Render the Figure 7 analogue: per-epoch accuracy plus a fluctuation summary."""
+    metric = result["metric"]
+    original = result["curves"]["original"]
+    plugin = result["curves"]["fusion-dist"]
+    num_epochs = max(len(original["curve"]), len(plugin["curve"]))
+    headers = ["epoch", f"original {metric}", f"LH-plugin {metric}"]
+    rows = []
+    for epoch in range(num_epochs):
+        rows.append([
+            epoch + 1,
+            format_float(original["curve"][epoch], 4) if epoch < len(original["curve"]) else "-",
+            format_float(plugin["curve"][epoch], 4) if epoch < len(plugin["curve"]) else "-",
+        ])
+    rows.append(["fluctuation", format_float(original["fluctuation"], 4),
+                 format_float(plugin["fluctuation"], 4)])
+    return format_table(headers, rows, title="Figure 7: training-curve robustness")

@@ -1,0 +1,66 @@
+"""Figure 8 — hyper-parameter study of the curvature β and the compression exponent c.
+
+The full LH-plugin is trained with each candidate value of one hyper-parameter while
+the other is held at the paper's default (β = 1, c = 4).  Expected shape: accuracy is
+relatively flat with a mild optimum near the defaults, matching the paper's choice of
+β = 1 and c = 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .reporting import format_float, format_table
+from .runner import ExperimentSettings, prepare_experiment, train_variant
+
+__all__ = ["run", "format_result"]
+
+DEFAULT_BETAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+DEFAULT_COMPRESSIONS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run(settings: ExperimentSettings | None = None, betas=DEFAULT_BETAS,
+        compressions=DEFAULT_COMPRESSIONS, metric: str = "hr@10") -> dict:
+    """Sweep β (with c fixed) and c (with β fixed) for the full plugin."""
+    settings = settings or ExperimentSettings()
+    dataset, truth = prepare_experiment(settings)
+
+    beta_rows = []
+    for beta in betas:
+        sweep_settings = replace(settings, plugin=settings.plugin.with_updates(beta=beta))
+        outcome = train_variant(sweep_settings, dataset, truth, "fusion-dist")
+        beta_rows.append({"beta": beta, "metrics": outcome["metrics"]})
+
+    compression_rows = []
+    for compression in compressions:
+        sweep_settings = replace(settings,
+                                 plugin=settings.plugin.with_updates(compression=compression))
+        outcome = train_variant(sweep_settings, dataset, truth, "fusion-dist")
+        compression_rows.append({"c": compression, "metrics": outcome["metrics"]})
+
+    return {
+        "settings": settings,
+        "metric": metric,
+        "beta_sweep": beta_rows,
+        "compression_sweep": compression_rows,
+    }
+
+
+def format_result(result: dict) -> str:
+    """Render the Figure 8 analogue as two sweep tables."""
+    metric = result["metric"]
+    available = result["beta_sweep"][0]["metrics"]
+    if metric not in available:
+        metric = next(iter(available))
+    beta_table = format_table(
+        ["beta", metric],
+        [[row["beta"], format_float(row["metrics"][metric], 4)] for row in result["beta_sweep"]],
+        title="Figure 8a: curvature beta sweep (c fixed)",
+    )
+    compression_table = format_table(
+        ["c", metric],
+        [[row["c"], format_float(row["metrics"][metric], 4)]
+         for row in result["compression_sweep"]],
+        title="Figure 8b: compression exponent c sweep (beta fixed)",
+    )
+    return beta_table + "\n\n" + compression_table

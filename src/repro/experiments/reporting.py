@@ -1,0 +1,54 @@
+"""Plain-text reporting helpers shared by the experiment harnesses.
+
+Every experiment returns plain dictionaries/lists; these helpers render them as the
+ASCII tables the benchmark targets print, so a run of ``pytest benchmarks/`` shows
+the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_float", "format_percent", "percent_increase"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Fixed-precision float formatting tolerant of None."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Render a fraction as a percentage string."""
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def percent_increase(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` (0 when baseline is 0)."""
+    if baseline == 0:
+        return 0.0
+    return (improved - baseline) / abs(baseline)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+                 ) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

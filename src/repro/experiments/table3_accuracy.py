@@ -1,0 +1,73 @@
+"""Table III — retrieval accuracy of spatial models with and without the LH-plugin.
+
+For every (dataset preset, base model, similarity measure) the harness trains the
+original Euclidean pipeline and the full LH-plugin variant and reports HR@5/10/50 and
+NDCG@10/50 plus the relative improvement.  Expected shape versus the paper: the
+plugin improves accuracy on almost every cell, with the largest relative gains on
+DTW (the most violation-prone measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .reporting import format_percent, format_table, percent_increase
+from .runner import ExperimentSettings, prepare_experiment, train_variant
+
+__all__ = ["run", "format_result"]
+
+DEFAULT_MODELS = ("neutraj", "trajgat", "traj2simvec")
+DEFAULT_MEASURES = ("dtw", "sspd", "edr")
+DEFAULT_PRESETS = ("chengdu",)
+METRIC_KEYS = ("hr@5", "hr@10", "hr@50", "ndcg@10", "ndcg@50")
+
+
+def run(settings: ExperimentSettings | None = None, models=DEFAULT_MODELS,
+        measures=DEFAULT_MEASURES, presets=DEFAULT_PRESETS) -> dict:
+    """Train original vs LH-plugin for every (preset, model, measure) cell."""
+    settings = settings or ExperimentSettings()
+    results: dict = {}
+    for preset in presets:
+        results[preset] = {}
+        for model in models:
+            results[preset][model] = {}
+            for measure in measures:
+                cell_settings = replace(settings, preset=preset, model=model, measure=measure)
+                dataset, truth = prepare_experiment(cell_settings)
+                original = train_variant(cell_settings, dataset, truth, "original")
+                plugin = train_variant(cell_settings, dataset, truth, "fusion-dist")
+                results[preset][model][measure] = {
+                    "original": original["metrics"],
+                    "lh-plugin": plugin["metrics"],
+                }
+    return {
+        "settings": settings,
+        "presets": list(presets),
+        "models": list(models),
+        "measures": list(measures),
+        "results": results,
+    }
+
+
+def format_result(result: dict) -> str:
+    """Render the Table III analogue (one block of rows per preset/model/measure)."""
+    first_cell = result["results"][result["presets"][0]][result["models"][0]][result["measures"][0]]
+    metric_keys = [key for key in METRIC_KEYS if key in first_cell["original"]]
+    metric_keys = metric_keys or list(first_cell["original"])
+    headers = ["dataset", "model", "measure", "variant", *metric_keys]
+    rows = []
+    for preset in result["presets"]:
+        for model in result["models"]:
+            for measure in result["measures"]:
+                cell = result["results"][preset][model][measure]
+                original = cell["original"]
+                plugin = cell["lh-plugin"]
+                rows.append([preset, model, measure.upper(), "original",
+                             *[f"{original[key]:.4f}" for key in metric_keys]])
+                rows.append(["", "", "", "LH-plugin",
+                             *[f"{plugin[key]:.4f}" for key in metric_keys]])
+                rows.append(["", "", "", "%increase",
+                             *[format_percent(percent_increase(original[key], plugin[key]))
+                               for key in metric_keys]])
+    return format_table(headers, rows,
+                        title="Table III: accuracy of spatial models, original vs LH-plugin")

@@ -1,0 +1,55 @@
+"""Table VI — incremental ablation: original → lh-vanilla → lh-cosh → fusion-dist.
+
+For one base model and each similarity measure, the four variants are trained with
+identical data and seeds.  Expected shape: accuracy is (mostly) monotone along the
+chain — the Lorentz distance helps, the cosh projection helps more, and the dynamic
+fusion distance is best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .reporting import format_float, format_table
+from .runner import ExperimentSettings, VARIANTS, prepare_experiment, train_variant
+
+__all__ = ["run", "format_result"]
+
+DEFAULT_MEASURES = ("dtw", "sspd", "edr")
+METRIC_KEYS = ("hr@5", "hr@10", "hr@50")
+
+
+def run(settings: ExperimentSettings | None = None, measures=DEFAULT_MEASURES,
+        variants=VARIANTS) -> dict:
+    """Train every ablation variant for each measure."""
+    settings = settings or ExperimentSettings()
+    results: dict = {}
+    for measure in measures:
+        cell_settings = replace(settings, measure=measure)
+        dataset, truth = prepare_experiment(cell_settings)
+        results[measure] = {}
+        for variant in variants:
+            outcome = train_variant(cell_settings, dataset, truth, variant)
+            results[measure][variant] = outcome["metrics"]
+    return {
+        "settings": settings,
+        "measures": list(measures),
+        "variants": list(variants),
+        "results": results,
+    }
+
+
+def format_result(result: dict) -> str:
+    """Render the Table VI analogue."""
+    first_cell = result["results"][result["measures"][0]][result["variants"][0]]
+    metric_keys = [key for key in METRIC_KEYS if key in first_cell] or list(first_cell)
+    headers = ["measure", "metric", *result["variants"]]
+    rows = []
+    for measure in result["measures"]:
+        for metric in metric_keys:
+            row = [measure.upper(), metric]
+            for variant in result["variants"]:
+                row.append(format_float(result["results"][measure][variant][metric], 4))
+            rows.append(row)
+    return format_table(headers, rows,
+                        title=f"Table VI: ablation of the LH-plugin ({result['settings'].model})")

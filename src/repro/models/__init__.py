@@ -1,0 +1,21 @@
+"""``repro.models`` — reduced-scale re-implementations of the paper's base encoders.
+
+Models: Neutraj (grid GRU), TrajGAT (quadtree graph attention), Traj2SimVec (LSTM +
+sub-trajectory prefixes), ST2Vec (spatio-temporal co-attention), Tedj (3-D grid
+tokens) plus a fast mean-pool MLP control.  All are Euclidean encoders the LH-plugin
+can be attached to unchanged.
+"""
+
+from .base import TrajectoryEncoder, register_model, get_model, available_models
+from .mlp import MeanPoolEncoder
+from .neutraj import NeutrajEncoder
+from .trajgat import TrajGATEncoder
+from .traj2simvec import Traj2SimVecEncoder
+from .st2vec import ST2VecEncoder
+from .tedj import TedjEncoder
+
+__all__ = [
+    "TrajectoryEncoder", "register_model", "get_model", "available_models",
+    "MeanPoolEncoder", "NeutrajEncoder", "TrajGATEncoder", "Traj2SimVecEncoder",
+    "ST2VecEncoder", "TedjEncoder",
+]

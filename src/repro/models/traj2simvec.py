@@ -1,0 +1,69 @@
+"""Traj2SimVec-style encoder: LSTM with sub-trajectory supervision (Zhang et al., IJCAI 2020).
+
+Traj2SimVec's distinguishing idea is auxiliary supervision on *sub-trajectories*: the
+model is encouraged to embed prefixes of a trajectory consistently with the distances
+of the corresponding sub-trajectories.  This re-implementation encodes the normalised
+point sequence with an LSTM, exposes prefix embeddings at a few split points, and the
+trainer can add the auxiliary sub-trajectory loss when it is enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Normalizer, Trajectory, TrajectoryDataset
+from ..nn import LSTM, Linear, Tensor
+from .base import TrajectoryEncoder, register_model
+
+__all__ = ["Traj2SimVecEncoder"]
+
+
+@register_model("traj2simvec")
+class Traj2SimVecEncoder(TrajectoryEncoder):
+    """LSTM encoder with prefix (sub-trajectory) embeddings."""
+
+    def __init__(self, normalizer: Normalizer, embedding_dim: int = 16,
+                 hidden_dim: int = 32, num_splits: int = 3, seed: int = 0):
+        super().__init__(embedding_dim)
+        rng = np.random.default_rng(seed)
+        self.normalizer = normalizer
+        self.num_splits = max(num_splits, 1)
+        self.recurrent = LSTM(2, hidden_dim, rng=rng)
+        self.projection = Linear(hidden_dim, embedding_dim, rng=rng)
+
+    @classmethod
+    def build(cls, dataset: TrajectoryDataset, embedding_dim: int = 16, seed: int = 0,
+              hidden_dim: int = 32, num_splits: int = 3, **kwargs) -> "Traj2SimVecEncoder":
+        return cls(Normalizer.fit(dataset), embedding_dim=embedding_dim,
+                   hidden_dim=hidden_dim, num_splits=num_splits, seed=seed)
+
+    def prepare(self, trajectory: Trajectory) -> np.ndarray:
+        return self.normalizer.transform_points(trajectory.coordinates)
+
+    def encode(self, prepared: np.ndarray) -> Tensor:
+        _, (hidden, _) = self.recurrent(Tensor(prepared), return_sequence=False)
+        return self.projection(hidden)
+
+    def encode_with_prefixes(self, prepared: np.ndarray) -> tuple[Tensor, list[Tensor]]:
+        """Full embedding plus embeddings of ``num_splits`` prefixes.
+
+        Prefix split points are evenly spaced; the prefixes reuse the same recurrent
+        weights, mirroring how Traj2SimVec supervises sub-trajectory consistency.
+        """
+        outputs, (hidden, _) = self.recurrent(Tensor(prepared))
+        full = self.projection(hidden)
+        length = outputs.shape[0]
+        prefixes = []
+        for split in range(1, self.num_splits + 1):
+            position = max(int(round(length * split / (self.num_splits + 1))) - 1, 0)
+            prefixes.append(self.projection(outputs[position]))
+        return full, prefixes
+
+    def prefix_lengths(self, prepared: np.ndarray) -> list[int]:
+        """Number of points of each prefix produced by :meth:`encode_with_prefixes`."""
+        length = len(prepared)
+        lengths = []
+        for split in range(1, self.num_splits + 1):
+            position = max(int(round(length * split / (self.num_splits + 1))) - 1, 0)
+            lengths.append(position + 1)
+        return lengths

@@ -1,0 +1,47 @@
+"""``repro.nn`` — a from-scratch NumPy neural-network substrate.
+
+This package replaces PyTorch for the offline reproduction: a reverse-mode autodiff
+``Tensor``, layers (Linear, Embedding, MLP, LayerNorm, Dropout), recurrent cells
+(LSTM, GRU), attention (dot-product, co-attention, graph attention), optimisers
+(SGD, Adam) and the loss functions used for similarity learning.
+"""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from .module import Module, Parameter
+from .layers import Linear, Embedding, Sequential, MLP, LayerNorm, Dropout, Identity
+from .rnn import LSTM, GRU, LSTMCell, GRUCell
+from .attention import ScaledDotProductAttention, CoAttention, GraphAttentionLayer
+from .optim import SGD, Adam, StepLR, Optimizer, clip_grad_norm
+from .losses import (
+    mse_loss,
+    mae_loss,
+    weighted_rank_loss,
+    triplet_margin_loss,
+    relative_distance_loss,
+)
+from .ops import (
+    concat,
+    stack,
+    softmax,
+    log_softmax,
+    dot,
+    euclidean_distance,
+    pairwise_euclidean,
+    lorentz_inner,
+    squared_distance,
+)
+from . import init
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter",
+    "Linear", "Embedding", "Sequential", "MLP", "LayerNorm", "Dropout", "Identity",
+    "LSTM", "GRU", "LSTMCell", "GRUCell",
+    "ScaledDotProductAttention", "CoAttention", "GraphAttentionLayer",
+    "SGD", "Adam", "StepLR", "Optimizer", "clip_grad_norm",
+    "mse_loss", "mae_loss", "weighted_rank_loss", "triplet_margin_loss",
+    "relative_distance_loss",
+    "concat", "stack", "softmax", "log_softmax", "dot",
+    "euclidean_distance", "pairwise_euclidean", "lorentz_inner", "squared_distance",
+    "init",
+]

@@ -1,0 +1,101 @@
+"""Attention mechanisms: scaled dot-product, co-attention and graph attention.
+
+TrajGAT relies on graph attention over a quadtree graph, and ST2Vec combines
+spatial and temporal streams through co-attention; both are provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module, Parameter
+from .ops import concat, softmax
+from .tensor import Tensor, as_tensor
+from . import init
+
+__all__ = ["ScaledDotProductAttention", "CoAttention", "GraphAttentionLayer"]
+
+
+class ScaledDotProductAttention(Module):
+    """Single-head scaled dot-product attention.
+
+    Expects ``query`` (n_q, d), ``key`` (n_k, d) and ``value`` (n_k, d_v); returns the
+    attended values (n_q, d_v) and the attention weights.
+    """
+
+    def __init__(self, scale: float | None = None):
+        super().__init__()
+        self.scale = scale
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        query = as_tensor(query)
+        key = as_tensor(key)
+        value = as_tensor(value)
+        scale = self.scale if self.scale is not None else float(np.sqrt(key.shape[-1]))
+        scores = (query @ key.T) / scale
+        if mask is not None:
+            scores = scores + Tensor(np.where(mask, 0.0, -1e9))
+        weights = softmax(scores, axis=-1)
+        return weights @ value, weights
+
+
+class CoAttention(Module):
+    """Co-attention between two sequences (spatial and temporal streams in ST2Vec).
+
+    Each stream attends over the other; the outputs are fused by summation with the
+    original stream and projected back to the model dimension.
+    """
+
+    def __init__(self, features: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.attend_ab = ScaledDotProductAttention()
+        self.attend_ba = ScaledDotProductAttention()
+        self.project_a = Linear(2 * features, features, rng=rng)
+        self.project_b = Linear(2 * features, features, rng=rng)
+
+    def forward(self, stream_a: Tensor, stream_b: Tensor) -> tuple[Tensor, Tensor]:
+        attended_a, _ = self.attend_ab(stream_a, stream_b, stream_b)
+        attended_b, _ = self.attend_ba(stream_b, stream_a, stream_a)
+        fused_a = self.project_a(concat([stream_a, attended_a], axis=-1)).tanh()
+        fused_b = self.project_b(concat([stream_b, attended_b], axis=-1)).tanh()
+        return fused_a, fused_b
+
+
+class GraphAttentionLayer(Module):
+    """Graph attention layer (GAT) over a dense adjacency matrix.
+
+    Node features of shape (n, in_features) are projected and combined with
+    attention coefficients computed from concatenated endpoint features, as in
+    Velickovic et al.; only edges present in the adjacency matrix participate.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 leaky_slope: float = 0.2, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.leaky_slope = leaky_slope
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.attention_src = Parameter(init.xavier_uniform((out_features,), rng))
+        self.attention_dst = Parameter(init.xavier_uniform((out_features,), rng))
+
+    def _leaky_relu(self, x: Tensor) -> Tensor:
+        positive = x.relu()
+        negative = (x * -1.0).relu() * -self.leaky_slope
+        return positive + negative
+
+    def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tensor:
+        node_features = as_tensor(node_features)
+        adjacency = np.asarray(adjacency, dtype=bool)
+        projected = node_features @ self.weight.T                      # (n, out)
+        src_score = (projected * self.attention_src).sum(axis=-1)      # (n,)
+        dst_score = (projected * self.attention_dst).sum(axis=-1)      # (n,)
+        n = projected.shape[0]
+        scores = self._leaky_relu(src_score.reshape(n, 1) + dst_score.reshape(1, n))
+        masked = scores + Tensor(np.where(adjacency, 0.0, -1e9))
+        weights = softmax(masked, axis=-1)
+        return (weights @ projected).tanh()

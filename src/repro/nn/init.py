@@ -1,0 +1,54 @@
+"""Parameter initialisation helpers.
+
+All initialisers accept an explicit :class:`numpy.random.Generator` so that model
+construction is fully reproducible without relying on global RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "uniform", "zeros", "orthogonal"]
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform initialisation in ``[low, high]``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation, useful for recurrent weight matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal initialisation requires a 2-D shape")
+    rows, cols = shape
+    matrix = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(matrix)
+    q = q[:rows, :cols] if rows >= cols else q[:cols, :rows].T
+    return q

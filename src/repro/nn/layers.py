@@ -1,0 +1,159 @@
+"""Feed-forward building blocks: Linear, Embedding, MLP, Sequential, LayerNorm, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["Linear", "Embedding", "Sequential", "MLP", "LayerNorm", "Dropout", "Identity"]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionalities.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Random generator used for weight initialisation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.xavier_normal((num_embeddings, embedding_dim), rng))
+
+    def forward(self, token_ids) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.intp)
+        return self.weight[token_ids]
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layer_names = []
+        for index, layer in enumerate(layers):
+            name = f"layer{index}"
+            setattr(self, name, layer)
+            self._layer_names.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._layer_names:
+            x = getattr(self, name)(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layer_names)
+
+
+class _Activation(Module):
+    """Element-wise activation wrapper so activations can live inside Sequential."""
+
+    def __init__(self, kind: str):
+        super().__init__()
+        if kind not in {"relu", "tanh", "sigmoid"}:
+            raise ValueError(f"unsupported activation: {kind}")
+        self.kind = kind
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if self.kind == "relu":
+            return x.relu()
+        if self.kind == "tanh":
+            return x.tanh()
+        return x.sigmoid()
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden-layer stack."""
+
+    def __init__(self, in_features: int, hidden_features, out_features: int,
+                 activation: str = "relu", rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if isinstance(hidden_features, int):
+            hidden_features = [hidden_features]
+        dims = [in_features, *hidden_features, out_features]
+        layers: list[Module] = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng=rng))
+            if index < len(dims) - 2:
+                layers.append(_Activation(activation))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gain = Parameter(np.ones(features))
+        self.shift = Parameter(np.zeros(features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / (variance + self.eps).sqrt()
+        return normalised * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        mask = self._rng.random(x.shape) >= self.p
+        return x * Tensor(mask / (1.0 - self.p))
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x)

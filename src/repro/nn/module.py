@@ -1,0 +1,104 @@
+"""Base class for neural-network modules (a minimal ``torch.nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Container for parameters and sub-modules with recursive traversal.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it. Parameters
+    and sub-modules assigned as attributes are discovered automatically, in
+    deterministic (sorted attribute name) order, so optimiser state is stable across
+    runs.
+    """
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------- traversal
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters of this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs in deterministic order."""
+        for name in sorted(self._parameters):
+            yield prefix + name, self._parameters[name]
+        for name in sorted(self._modules):
+            child = self._modules[name]
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendant modules."""
+        yield self
+        for name in sorted(self._modules):
+            yield from self._modules[name].modules()
+
+    # ----------------------------------------------------------------- state
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the module (and children) between training and evaluation mode."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by qualified name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            param = own[name]
+            if param.data.shape != np.asarray(values).shape:
+                raise ValueError(f"shape mismatch for {name}")
+            param.data = np.asarray(values, dtype=np.float64).copy()

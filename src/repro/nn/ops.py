@@ -1,0 +1,115 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor` objects.
+
+These helpers complement the methods defined directly on ``Tensor`` with
+multi-operand operations (concatenation, stacking) and common derived functions
+(softmax, dot products, distances) used by the trajectory encoders and the
+LH-plugin modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "dot",
+    "euclidean_distance",
+    "pairwise_euclidean",
+    "lorentz_inner",
+    "squared_distance",
+]
+
+
+def concat(tensors, axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each input."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward, requires)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+
+    def backward(grad):
+        split = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, split):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._make(data, tuple(tensors), backward, requires)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax implemented with differentiable primitives."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Logarithm of the softmax, computed stably."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dot(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Inner product along ``axis`` (batched)."""
+    return (as_tensor(a) * as_tensor(b)).sum(axis=axis)
+
+
+def squared_distance(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Squared Euclidean distance along ``axis``."""
+    diff = as_tensor(a) - as_tensor(b)
+    return (diff * diff).sum(axis=axis)
+
+
+def euclidean_distance(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Euclidean distance along ``axis`` with a safe gradient at zero."""
+    return (squared_distance(a, b, axis=axis) + eps).sqrt()
+
+
+def pairwise_euclidean(x: Tensor) -> Tensor:
+    """All-pairs Euclidean distance matrix of the rows of ``x`` (n, d) -> (n, n)."""
+    x = as_tensor(x)
+    n = x.shape[0]
+    rows = x.reshape(n, 1, x.shape[1])
+    cols = x.reshape(1, n, x.shape[1])
+    return euclidean_distance(rows, cols, axis=-1)
+
+
+def lorentz_inner(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Lorentz inner product ``⟨a, b⟩ = -a₀b₀ + Σᵢ aᵢbᵢ`` along ``axis``.
+
+    The first component along ``axis`` is the time-like coordinate.
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    product = a * b
+    full = product.sum(axis=axis)
+    if axis == -1 or axis == a.ndim - 1:
+        time_like = product[..., 0]
+    else:
+        raise ValueError("lorentz_inner only supports the last axis")
+    return full - 2.0 * time_like

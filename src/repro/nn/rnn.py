@@ -1,0 +1,168 @@
+"""Recurrent layers: LSTM and GRU cells and sequence encoders.
+
+The trajectory encoders of the paper (Neutraj, Traj2SimVec, ST2Vec and the dynamic
+fusion factor encoder) are all built on recurrent networks; these implementations
+process sequences step by step on top of the autodiff engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .ops import concat
+from .tensor import Tensor, as_tensor
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "GRU"]
+
+
+class LSTMCell(Module):
+    """Single-step LSTM cell with combined gate projection."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 4 * hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((gate_size, input_size), rng))
+        self.weight_hh = Parameter(init.orthogonal((gate_size, hidden_size), rng)
+                                   if hidden_size > 1 else
+                                   init.xavier_uniform((gate_size, hidden_size), rng))
+        self.bias = Parameter(init.zeros((gate_size,)))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        hidden, cell = state
+        gates = x @ self.weight_ih.T + hidden @ self.weight_hh.T + self.bias
+        h = self.hidden_size
+        input_gate = gates[..., 0:h].sigmoid()
+        forget_gate = gates[..., h:2 * h].sigmoid()
+        candidate = gates[..., 2 * h:3 * h].tanh()
+        output_gate = gates[..., 3 * h:4 * h].sigmoid()
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class GRUCell(Module):
+    """Single-step GRU cell."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        gate_size = 3 * hidden_size
+        self.weight_ih = Parameter(init.xavier_uniform((gate_size, input_size), rng))
+        self.weight_hh = Parameter(init.orthogonal((gate_size, hidden_size), rng)
+                                   if hidden_size > 1 else
+                                   init.xavier_uniform((gate_size, hidden_size), rng))
+        self.bias = Parameter(init.zeros((gate_size,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        h = self.hidden_size
+        projected_input = x @ self.weight_ih.T + self.bias
+        projected_hidden = hidden @ self.weight_hh.T
+        reset = (projected_input[..., 0:h] + projected_hidden[..., 0:h]).sigmoid()
+        update = (projected_input[..., h:2 * h] + projected_hidden[..., h:2 * h]).sigmoid()
+        candidate = (projected_input[..., 2 * h:3 * h]
+                     + reset * projected_hidden[..., 2 * h:3 * h]).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class _Recurrent(Module):
+    """Shared driver that unrolls a cell over a (batch, time, features) sequence."""
+
+    def __init__(self):
+        super().__init__()
+
+    def _iterate(self, sequence: Tensor):
+        sequence = as_tensor(sequence)
+        if sequence.ndim == 2:
+            sequence = sequence.reshape(1, *sequence.shape)
+        steps = sequence.shape[1]
+        for t in range(steps):
+            yield sequence[:, t, :]
+
+
+class LSTM(_Recurrent):
+    """LSTM sequence encoder returning all hidden states and the final state.
+
+    Set ``return_sequence=False`` when only the final state is needed — it skips
+    assembling the per-step output tensor, which matters for the many single-sequence
+    forward passes the trajectory encoders perform.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor,
+                return_sequence: bool = True) -> tuple[Tensor | None, tuple[Tensor, Tensor]]:
+        sequence = as_tensor(sequence)
+        squeeze = sequence.ndim == 2
+        if squeeze:
+            sequence = sequence.reshape(1, *sequence.shape)
+        batch = sequence.shape[0]
+        hidden, cell = self.cell.initial_state(batch)
+        outputs = []
+        for step in self._iterate(sequence):
+            hidden, cell = self.cell(step, (hidden, cell))
+            if return_sequence:
+                outputs.append(hidden)
+        stacked = None
+        if return_sequence:
+            stacked = concat([h.reshape(batch, 1, self.hidden_size) for h in outputs], axis=1)
+        if squeeze:
+            if stacked is not None:
+                stacked = stacked.reshape(stacked.shape[1], self.hidden_size)
+            hidden = hidden.reshape(self.hidden_size)
+            cell = cell.reshape(self.hidden_size)
+        return stacked, (hidden, cell)
+
+
+class GRU(_Recurrent):
+    """GRU sequence encoder returning all hidden states and the final state.
+
+    ``return_sequence=False`` skips assembling the per-step outputs (see LSTM).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, sequence: Tensor,
+                return_sequence: bool = True) -> tuple[Tensor | None, Tensor]:
+        sequence = as_tensor(sequence)
+        squeeze = sequence.ndim == 2
+        if squeeze:
+            sequence = sequence.reshape(1, *sequence.shape)
+        batch = sequence.shape[0]
+        hidden = self.cell.initial_state(batch)
+        outputs = []
+        for step in self._iterate(sequence):
+            hidden = self.cell(step, hidden)
+            if return_sequence:
+                outputs.append(hidden)
+        stacked = None
+        if return_sequence:
+            stacked = concat([h.reshape(batch, 1, self.hidden_size) for h in outputs], axis=1)
+        if squeeze:
+            if stacked is not None:
+                stacked = stacked.reshape(stacked.shape[1], self.hidden_size)
+            hidden = hidden.reshape(self.hidden_size)
+        return stacked, hidden

@@ -1,0 +1,57 @@
+"""Training history tracking and early stopping."""
+
+from __future__ import annotations
+
+__all__ = ["TrainingHistory", "EarlyStopping"]
+
+
+class TrainingHistory:
+    """Per-epoch record of the training loss and any evaluation metrics."""
+
+    def __init__(self):
+        self.epochs: list[int] = []
+        self.losses: list[float] = []
+        self.metrics: list[dict] = []
+
+    def record(self, epoch: int, loss: float, metrics: dict | None = None) -> None:
+        """Append one epoch's loss (and optional evaluation metrics)."""
+        self.epochs.append(epoch)
+        self.losses.append(float(loss))
+        self.metrics.append(dict(metrics) if metrics else {})
+
+    def metric_curve(self, name: str) -> list[float]:
+        """The per-epoch values of one recorded metric (missing epochs are skipped)."""
+        return [m[name] for m in self.metrics if name in m]
+
+    @property
+    def best_loss(self) -> float:
+        return min(self.losses) if self.losses else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def as_dict(self) -> dict:
+        """Serialisable summary of the run."""
+        return {"epochs": list(self.epochs), "losses": list(self.losses),
+                "metrics": [dict(m) for m in self.metrics]}
+
+
+class EarlyStopping:
+    """Stop training when the loss has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-5):
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.stale_epochs = 0
+
+    def update(self, loss: float) -> bool:
+        """Record one epoch's loss; returns True when training should stop."""
+        if loss < self.best - self.min_delta:
+            self.best = loss
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+        return self.stale_epochs >= self.patience

@@ -1,0 +1,82 @@
+"""Pair and triplet sampling strategies for similarity training.
+
+Following Neutraj's seed-guided sampling, each training epoch supervises, for every
+anchor trajectory, its ``num_nearest`` most similar trajectories (where approximation
+errors hurt retrieval most) plus ``num_random`` random ones (to keep the global scale
+calibrated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PairSampler", "sample_triplets"]
+
+
+class PairSampler:
+    """Samples (anchor, other) index pairs guided by the ground-truth matrix."""
+
+    def __init__(self, target_matrix: np.ndarray, num_nearest: int = 5,
+                 num_random: int = 5, seed: int = 0):
+        target_matrix = np.asarray(target_matrix, dtype=np.float64)
+        if target_matrix.ndim != 2 or target_matrix.shape[0] != target_matrix.shape[1]:
+            raise ValueError("target_matrix must be square")
+        if num_nearest < 0 or num_random < 0 or num_nearest + num_random == 0:
+            raise ValueError("need at least one of num_nearest/num_random positive")
+        self.target_matrix = target_matrix
+        self.num_nearest = num_nearest
+        self.num_random = num_random
+        self._rng = np.random.default_rng(seed)
+        self._nearest = self._precompute_nearest()
+
+    def _precompute_nearest(self) -> np.ndarray:
+        masked = self.target_matrix.copy()
+        np.fill_diagonal(masked, np.inf)
+        order = np.argsort(masked, axis=1, kind="stable")
+        return order[:, :max(self.num_nearest, 1)]
+
+    def epoch_pairs(self, shuffle: bool = True) -> list[tuple[int, int]]:
+        """One epoch worth of pairs: nearest + random others for every anchor."""
+        n = len(self.target_matrix)
+        pairs: list[tuple[int, int]] = []
+        for anchor in range(n):
+            for neighbor in self._nearest[anchor][:self.num_nearest]:
+                pairs.append((anchor, int(neighbor)))
+            if self.num_random:
+                candidates = self._rng.choice(n, size=self.num_random, replace=True)
+                for other in candidates:
+                    if other != anchor:
+                        pairs.append((anchor, int(other)))
+        if shuffle:
+            self._rng.shuffle(pairs)
+        return pairs
+
+    def target_of(self, pair: tuple[int, int]) -> float:
+        """Ground-truth distance of a sampled pair."""
+        i, j = pair
+        return float(self.target_matrix[i, j])
+
+
+def sample_triplets(target_matrix: np.ndarray, num_triplets: int, seed: int = 0,
+                    positive_quantile: float = 0.25) -> list[tuple[int, int, int]]:
+    """Sample (anchor, positive, negative) triplets for margin-based training.
+
+    Positives are drawn from the anchor's closest ``positive_quantile`` fraction of
+    the database, negatives from the rest.
+    """
+    matrix = np.asarray(target_matrix, dtype=np.float64)
+    n = len(matrix)
+    if n < 3:
+        raise ValueError("need at least three trajectories")
+    rng = np.random.default_rng(seed)
+    masked = matrix.copy()
+    np.fill_diagonal(masked, np.inf)
+    order = np.argsort(masked, axis=1, kind="stable")
+    cutoff = max(int(positive_quantile * (n - 1)), 1)
+    triplets = []
+    for _ in range(num_triplets):
+        anchor = int(rng.integers(n))
+        positive = int(order[anchor, rng.integers(cutoff)])
+        negative = int(order[anchor, rng.integers(cutoff, n - 1)])
+        triplets.append((anchor, positive, negative))
+    return triplets

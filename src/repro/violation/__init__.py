@@ -1,0 +1,28 @@
+"""``repro.violation`` — triangle-inequality violation metrics and samplers.
+
+Implements the paper's Section V-A statistics (TVF, RV, RVS, ARVS) plus the triplet
+and query-stratification samplers used by Figures 1 and 5 and Table I.
+"""
+
+from .metrics import (
+    sim_slack,
+    triangle_violation_flag,
+    relative_violation_scale,
+    ratio_of_violation,
+    average_relative_violation,
+    violation_report,
+    iter_triplets,
+)
+from .sampler import (
+    sample_violating_triplets,
+    per_trajectory_violation_score,
+    stratify_queries_by_violation,
+)
+
+__all__ = [
+    "sim_slack", "triangle_violation_flag", "relative_violation_scale",
+    "ratio_of_violation", "average_relative_violation", "violation_report",
+    "iter_triplets",
+    "sample_violating_triplets", "per_trajectory_violation_score",
+    "stratify_queries_by_violation",
+]

@@ -1,0 +1,160 @@
+"""Triangle-inequality violation statistics (Section V-A of the paper).
+
+Given a symmetric trajectory-distance matrix, a triplet ``(i, j, k)`` violates the
+triangle inequality when one side exceeds the sum of the other two.  The paper
+quantifies this with:
+
+* ``Sim[k|i, j] = f(Ti, Tj) − f(Ti, Tk) − f(Tj, Tk)`` — the signed slack of the side
+  ``(i, j)`` versus the path through ``k``;
+* the **Triangle Violation Flag** ``TVF`` — 1 when any of the three slacks is positive;
+* the **Ratio of Violation** ``RV`` — fraction of violating triplets;
+* the **Relative Violation Scale** ``RVS`` — the positive slack of the longest side
+  normalised by the sum of the two shorter sides through the opposite vertex;
+* the **Average Relative Violation** ``ARVS`` — mean RVS over violating triplets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "sim_slack",
+    "triangle_violation_flag",
+    "relative_violation_scale",
+    "ratio_of_violation",
+    "average_relative_violation",
+    "violation_report",
+    "iter_triplets",
+]
+
+
+def _check_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("distance matrix must be square")
+    return matrix
+
+
+def iter_triplets(count: int, max_triplets: int | None = None,
+                  rng: np.random.Generator | None = None) -> Iterable[tuple[int, int, int]]:
+    """Yield index triplets, either exhaustively or as a random sample.
+
+    When ``max_triplets`` is given and smaller than ``C(count, 3)``, triplets are
+    sampled uniformly at random without replacement semantics being required (the
+    statistics are ratio estimates, so independent draws suffice).
+    """
+    if count < 3:
+        return
+    total = count * (count - 1) * (count - 2) // 6
+    if max_triplets is None or max_triplets >= total:
+        yield from combinations(range(count), 3)
+        return
+    rng = rng if rng is not None else np.random.default_rng(0)
+    seen: set[tuple[int, int, int]] = set()
+    while len(seen) < max_triplets:
+        i, j, k = sorted(rng.choice(count, size=3, replace=False).tolist())
+        triplet = (int(i), int(j), int(k))
+        if triplet in seen:
+            continue
+        seen.add(triplet)
+        yield triplet
+
+
+def sim_slack(matrix: np.ndarray, i: int, j: int, k: int) -> float:
+    """``Sim[k|i, j]``: how much the side (i, j) exceeds the path through ``k``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return float(matrix[i, j] - matrix[i, k] - matrix[j, k])
+
+
+def triangle_violation_flag(matrix: np.ndarray, i: int, j: int, k: int,
+                            tolerance: float = 1e-12) -> int:
+    """TVF: 1 if the triplet violates the triangle inequality, else 0."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    slacks = (
+        matrix[i, j] - matrix[i, k] - matrix[j, k],
+        matrix[i, k] - matrix[i, j] - matrix[j, k],
+        matrix[j, k] - matrix[i, j] - matrix[i, k],
+    )
+    return int(max(slacks) > tolerance)
+
+
+def relative_violation_scale(matrix: np.ndarray, i: int, j: int, k: int) -> float:
+    """RVS: slack of the largest side divided by the sum of the two other sides.
+
+    Following Definition 11, the largest of the three pairwise distances determines
+    which slack is normalised; the denominator is the sum of the two distances from
+    the opposite vertex.  The value is positive exactly when the triplet violates the
+    triangle inequality and can also be used (negative) as a "how far from violating"
+    score for model-predicted distances (Figure 5).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    d_ij, d_ik, d_jk = matrix[i, j], matrix[i, k], matrix[j, k]
+    sides = {"ij": d_ij, "ik": d_ik, "jk": d_jk}
+    largest = max(sides, key=sides.get)
+    if largest == "ij":
+        numerator = d_ij - d_ik - d_jk
+        denominator = d_ik + d_jk
+    elif largest == "jk":
+        numerator = d_jk - d_ij - d_ik
+        denominator = d_ij + d_ik
+    else:
+        numerator = d_ik - d_ij - d_jk
+        denominator = d_ij + d_jk
+    if denominator <= 0.0:
+        return 0.0
+    return float(numerator / denominator)
+
+
+def ratio_of_violation(matrix: np.ndarray, max_triplets: int | None = None,
+                       seed: int = 0, tolerance: float = 1e-12) -> float:
+    """RV: fraction of (sampled) triplets that violate the triangle inequality."""
+    matrix = _check_matrix(matrix)
+    rng = np.random.default_rng(seed)
+    total = 0
+    violations = 0
+    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
+        total += 1
+        violations += triangle_violation_flag(matrix, i, j, k, tolerance)
+    if total == 0:
+        return 0.0
+    return violations / total
+
+
+def average_relative_violation(matrix: np.ndarray, max_triplets: int | None = None,
+                               seed: int = 0, tolerance: float = 1e-12) -> float:
+    """ARVS: mean relative violation over the violating (sampled) triplets."""
+    matrix = _check_matrix(matrix)
+    rng = np.random.default_rng(seed)
+    scales = []
+    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
+        if triangle_violation_flag(matrix, i, j, k, tolerance):
+            scales.append(relative_violation_scale(matrix, i, j, k))
+    if not scales:
+        return 0.0
+    return float(np.mean(scales))
+
+
+def violation_report(matrix: np.ndarray, max_triplets: int | None = None,
+                     seed: int = 0, tolerance: float = 1e-12) -> dict:
+    """RV and ARVS computed in a single pass (used by the Table I benchmark)."""
+    matrix = _check_matrix(matrix)
+    rng = np.random.default_rng(seed)
+    total = 0
+    violating = 0
+    scale_sum = 0.0
+    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
+        total += 1
+        if triangle_violation_flag(matrix, i, j, k, tolerance):
+            violating += 1
+            scale_sum += relative_violation_scale(matrix, i, j, k)
+    ratio = violating / total if total else 0.0
+    average = scale_sum / violating if violating else 0.0
+    return {
+        "triplets": total,
+        "violating_triplets": violating,
+        "ratio_of_violation": ratio,
+        "average_relative_violation": average,
+    }

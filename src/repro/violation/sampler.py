@@ -1,0 +1,84 @@
+"""Sampling utilities for violation analysis.
+
+Two samplers back the paper's figures:
+
+* :func:`sample_violating_triplets` — random triplets restricted to those violating the
+  triangle inequality (Figure 5 compares RVS distributions on exactly such triplets);
+* :func:`stratify_queries_by_violation` — buckets query trajectories by how strongly
+  their neighbourhood violates the triangle inequality (Figure 1 plots accuracy as a
+  function of the violation degree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import (
+    iter_triplets,
+    relative_violation_scale,
+    triangle_violation_flag,
+)
+
+__all__ = [
+    "sample_violating_triplets",
+    "per_trajectory_violation_score",
+    "stratify_queries_by_violation",
+]
+
+
+def sample_violating_triplets(matrix: np.ndarray, max_triplets: int = 10000,
+                              limit: int | None = None, seed: int = 0,
+                              tolerance: float = 1e-12) -> list[tuple[int, int, int]]:
+    """Return (up to ``limit``) triplets that violate the triangle inequality.
+
+    ``max_triplets`` bounds how many candidate triplets are examined; ``limit`` bounds
+    how many violating ones are returned (None = all found).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    found: list[tuple[int, int, int]] = []
+    for triplet in iter_triplets(len(matrix), max_triplets, rng):
+        if triangle_violation_flag(matrix, *triplet, tolerance=tolerance):
+            found.append(triplet)
+            if limit is not None and len(found) >= limit:
+                break
+    return found
+
+
+def per_trajectory_violation_score(matrix: np.ndarray, max_triplets: int = 20000,
+                                   seed: int = 0) -> np.ndarray:
+    """Average positive RVS of the violating triplets each trajectory participates in.
+
+    Trajectories that never participate in a violating triplet get score 0.  This is
+    the per-query "degree of triangle inequality violation" used to stratify Figure 1.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    totals = np.zeros(len(matrix))
+    counts = np.zeros(len(matrix))
+    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
+        if not triangle_violation_flag(matrix, i, j, k):
+            continue
+        scale = relative_violation_scale(matrix, i, j, k)
+        for index in (i, j, k):
+            totals[index] += scale
+            counts[index] += 1
+    scores = np.zeros(len(matrix))
+    mask = counts > 0
+    scores[mask] = totals[mask] / counts[mask]
+    return scores
+
+
+def stratify_queries_by_violation(matrix: np.ndarray, num_buckets: int = 4,
+                                  max_triplets: int = 20000, seed: int = 0
+                                  ) -> list[np.ndarray]:
+    """Split trajectory indices into ``num_buckets`` of increasing violation degree.
+
+    Buckets are equal-frequency (quantile) groups of the per-trajectory violation
+    score, ordered from least to most violating.
+    """
+    if num_buckets < 2:
+        raise ValueError("num_buckets must be at least 2")
+    scores = per_trajectory_violation_score(matrix, max_triplets=max_triplets, seed=seed)
+    order = np.argsort(scores, kind="stable")
+    return [np.array(chunk, dtype=np.intp) for chunk in np.array_split(order, num_buckets)]

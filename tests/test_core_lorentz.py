@@ -1,0 +1,135 @@
+"""Unit tests for the Lorentz geometry (inner product, distance, Lemmas 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cosh_projection,
+    is_on_hyperboloid,
+    lorentz_distance,
+    lorentz_distance_matrix,
+    lorentz_distance_t,
+    lorentz_inner,
+    lorentz_inner_t,
+    vanilla_projection,
+)
+from repro.nn import Tensor
+from repro.violation import ratio_of_violation
+
+
+def hyperbolic_points(n, dim, beta=1.0, scale=1.0, seed=0):
+    """Random points of H(beta) obtained by projecting Euclidean vectors."""
+    rng = np.random.default_rng(seed)
+    return cosh_projection(rng.normal(size=(n, dim)) * scale, beta=beta, c=2.0)
+
+
+class TestLorentzInner:
+    def test_signature(self):
+        a = np.array([2.0, 1.0, 0.0])
+        b = np.array([3.0, 0.0, 1.0])
+        assert lorentz_inner(a, b) == pytest.approx(-6.0)
+
+    def test_batched(self):
+        points = hyperbolic_points(5, 3)
+        values = lorentz_inner(points, points)
+        assert values.shape == (5,)
+        np.testing.assert_allclose(values, -np.ones(5), atol=1e-8)
+
+    def test_self_inner_product_is_minus_beta(self):
+        for beta in (0.5, 1.0, 2.0):
+            points = cosh_projection(np.random.default_rng(0).normal(size=(4, 3)),
+                                     beta=beta, c=2.0)
+            np.testing.assert_allclose(lorentz_inner(points, points), -beta * np.ones(4),
+                                       atol=1e-8)
+
+    def test_tensor_version_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(lorentz_inner_t(Tensor(a), Tensor(b)).data,
+                                   lorentz_inner(a, b))
+
+    def test_tensor_version_differentiable(self):
+        a = Tensor(np.array([2.0, 1.0, 0.5]), requires_grad=True)
+        b = Tensor(np.array([1.5, 0.5, 1.0]))
+        lorentz_inner_t(a, b).backward()
+        np.testing.assert_allclose(a.grad, [-1.5, 0.5, 1.0])
+
+
+class TestLorentzDistance:
+    def test_beta_validation(self):
+        a = np.array([1.0, 0.0])
+        with pytest.raises(ValueError):
+            lorentz_distance(a, a, beta=0.0)
+        with pytest.raises(ValueError):
+            lorentz_distance_t(Tensor(a), Tensor(a), beta=-1.0)
+
+    def test_lemma4_nonnegative_and_identity(self):
+        points = hyperbolic_points(20, 4, seed=2)
+        # identity of indiscernibles: d(a, a) = 0
+        np.testing.assert_allclose(lorentz_distance(points, points), np.zeros(20), atol=1e-8)
+        # non-negativity over random pairs
+        matrix = lorentz_distance_matrix(points)
+        assert (matrix >= -1e-8).all()
+
+    def test_lemma4_zero_only_for_identical(self):
+        points = hyperbolic_points(10, 3, scale=1.5, seed=3)
+        matrix = lorentz_distance_matrix(points)
+        off_diagonal = matrix[~np.eye(10, dtype=bool)]
+        assert (off_diagonal > 1e-8).all()
+
+    def test_lemma5_triangle_inequality_violated(self):
+        # The Lorentz distance is NOT a metric: violations must exist for generic points.
+        points = hyperbolic_points(25, 4, scale=2.0, seed=4)
+        matrix = lorentz_distance_matrix(points)
+        np.fill_diagonal(matrix, 0.0)
+        assert ratio_of_violation(matrix, max_triplets=1500) > 0.0
+
+    def test_distance_matrix_matches_pairwise_calls(self):
+        points = hyperbolic_points(6, 3, seed=5)
+        matrix = lorentz_distance_matrix(points, beta=1.0)
+        for i in range(6):
+            for j in range(6):
+                assert matrix[i, j] == pytest.approx(
+                    float(lorentz_distance(points[i], points[j])), abs=1e-9)
+
+    def test_distance_matrix_rectangular(self):
+        a = hyperbolic_points(4, 3, seed=6)
+        b = hyperbolic_points(7, 3, seed=7)
+        assert lorentz_distance_matrix(a, b).shape == (4, 7)
+
+    def test_symmetry(self):
+        points = hyperbolic_points(8, 3, seed=8)
+        matrix = lorentz_distance_matrix(points)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-10)
+
+    def test_tensor_distance_matches_numpy(self):
+        points = hyperbolic_points(5, 3, seed=9)
+        for i in range(4):
+            expected = float(lorentz_distance(points[i], points[i + 1]))
+            actual = lorentz_distance_t(Tensor(points[i]), Tensor(points[i + 1])).item()
+            assert actual == pytest.approx(expected, abs=1e-10)
+
+    def test_tensor_distance_differentiable(self):
+        a = Tensor(hyperbolic_points(1, 3, seed=10)[0], requires_grad=True)
+        b = Tensor(hyperbolic_points(1, 3, seed=11)[0])
+        lorentz_distance_t(a, b).backward()
+        assert a.grad is not None
+        assert np.isfinite(a.grad).all()
+
+
+class TestHyperboloidMembership:
+    def test_projected_points_are_members(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(10, 4)) * 2
+        assert is_on_hyperboloid(vanilla_projection(x, beta=1.0), beta=1.0).all()
+        assert is_on_hyperboloid(cosh_projection(x, beta=1.0, c=4.0), beta=1.0).all()
+
+    def test_non_members_detected(self):
+        assert not is_on_hyperboloid(np.array([1.0, 5.0, 0.0]), beta=1.0)
+
+    def test_wrong_sheet_detected(self):
+        point = vanilla_projection(np.array([1.0, 1.0]), beta=1.0)
+        flipped = point.copy()
+        flipped[0] = -flipped[0]
+        assert not is_on_hyperboloid(flipped, beta=1.0)

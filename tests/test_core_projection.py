@@ -1,0 +1,172 @@
+"""Unit tests for the vanilla and cosh hyperbolic projections (Theorems 6-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cosh_projection,
+    cosh_projection_t,
+    is_on_hyperboloid,
+    lorentz_distance,
+    norm_compression,
+    project,
+    project_t,
+    projection_scalars,
+    vanilla_projection,
+    vanilla_projection_t,
+)
+from repro.nn import Tensor
+
+
+class TestNormCompression:
+    def test_c2_is_square_root(self):
+        assert norm_compression(np.array(9.0), 2.0) == pytest.approx(3.0)
+
+    def test_c4_is_fourth_root(self):
+        assert norm_compression(np.array(16.0), 4.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            norm_compression(np.array(1.0), 0.0)
+
+
+class TestVanillaProjection:
+    def test_adds_one_dimension(self):
+        assert vanilla_projection(np.zeros((3, 4))).shape == (3, 5)
+
+    def test_preserves_spatial_coordinates(self):
+        x = np.array([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(vanilla_projection(x)[1:], x)
+
+    def test_membership_for_any_beta(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 3)) * 3
+        for beta in (0.25, 1.0, 4.0):
+            assert is_on_hyperboloid(vanilla_projection(x, beta=beta), beta=beta).all()
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            vanilla_projection(np.ones(3), beta=0.0)
+
+    def test_theorem6_distance_degrades_with_norm(self):
+        """Collinear pairs at fixed Euclidean gap: the vanilla Lorentz distance
+        collapses toward zero as the pair moves away from the origin (Theorem 6)."""
+        gap = 1.0
+        distances = []
+        for offset in (0.0, 5.0, 50.0, 500.0):
+            a = vanilla_projection(np.array([offset]))
+            b = vanilla_projection(np.array([offset + gap]))
+            distances.append(float(lorentz_distance(a, b)))
+        assert distances[0] > distances[1] > distances[2] > distances[3]
+        assert distances[-1] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestCoshProjection:
+    def test_adds_one_dimension(self):
+        assert cosh_projection(np.zeros((3, 4))).shape == (3, 5)
+
+    def test_membership_independent_of_c(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 3)) * 2
+        for c in (1.0, 2.0, 4.0, 8.0):
+            projected = cosh_projection(x, beta=1.0, c=c)
+            assert is_on_hyperboloid(projected, beta=1.0).all()
+
+    def test_membership_for_any_beta(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 3))
+        for beta in (0.5, 1.0, 2.0):
+            assert is_on_hyperboloid(cosh_projection(x, beta=beta), beta=beta).all()
+
+    def test_zero_vector_maps_to_apex(self):
+        projected = cosh_projection(np.zeros(4), beta=1.0)
+        np.testing.assert_allclose(projected, [1.0, 0.0, 0.0, 0.0, 0.0], atol=1e-9)
+
+    def test_theorem7_one_dimensional_distance(self):
+        """For 1-D inputs with c = 2 the Lorentz distance is beta*(cosh(|a-b|) - 1)."""
+        a_value, b_value = 1.3, 2.9
+        a = cosh_projection(np.array([a_value]), beta=1.0, c=2.0)
+        b = cosh_projection(np.array([b_value]), beta=1.0, c=2.0)
+        expected = np.cosh(b_value - a_value) - 1.0
+        assert float(lorentz_distance(a, b)) == pytest.approx(expected, rel=1e-9)
+
+    def test_theorem7_depends_only_on_difference(self):
+        # Shifts stay moderate so the analytic identity is not drowned by the
+        # floating-point cancellation inherent to cosh products of huge arguments.
+        for shift in (0.0, 3.0, 8.0):
+            a = cosh_projection(np.array([shift]), beta=1.0, c=2.0)
+            b = cosh_projection(np.array([shift + 1.0]), beta=1.0, c=2.0)
+            assert float(lorentz_distance(a, b)) == pytest.approx(np.cosh(1.0) - 1.0, rel=1e-5)
+
+    def test_non_diminishing_vs_vanilla(self):
+        """Theorems 7-9: for distant collinear pairs the cosh projection keeps the
+        distance while the vanilla projection collapses it."""
+        a = np.array([6.0, 0.0])
+        b = np.array([7.0, 0.0])
+        vanilla = float(lorentz_distance(vanilla_projection(a), vanilla_projection(b)))
+        cosh = float(lorentz_distance(cosh_projection(a, c=2.0), cosh_projection(b, c=2.0)))
+        assert cosh > vanilla
+        assert cosh > np.cosh(1.0) - 1.0 - 1e-6
+
+    def test_compression_reduces_magnitudes(self):
+        x = np.array([4.0, 3.0])
+        strong = cosh_projection(x, c=8.0)[0]
+        weak = cosh_projection(x, c=2.0)[0]
+        assert strong < weak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosh_projection(np.ones(3), beta=-1.0)
+        with pytest.raises(ValueError):
+            cosh_projection_t(Tensor(np.ones(3)), c=0.0)
+
+
+class TestDispatchAndScalars:
+    def test_project_dispatch(self):
+        x = np.random.default_rng(3).normal(size=(4, 3))
+        np.testing.assert_allclose(project(x, method="vanilla"), vanilla_projection(x))
+        np.testing.assert_allclose(project(x, method="cosh", c=4.0),
+                                   cosh_projection(x, c=4.0))
+
+    def test_project_unknown_method(self):
+        with pytest.raises(ValueError):
+            project(np.ones(3), method="poincare")
+        with pytest.raises(ValueError):
+            project_t(Tensor(np.ones(3)), method="poincare")
+
+    @pytest.mark.parametrize("method", ["vanilla", "cosh"])
+    def test_projection_scalars_consistent_with_full_projection(self, method):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(6, 4))
+        time_like, scale = projection_scalars(x, beta=1.0, c=4.0, method=method)
+        full = project(x, beta=1.0, c=4.0, method=method)
+        np.testing.assert_allclose(time_like, full[:, 0], atol=1e-9)
+        np.testing.assert_allclose(scale[:, None] * x, full[:, 1:], atol=1e-9)
+
+    def test_projection_scalars_unknown_method(self):
+        with pytest.raises(ValueError):
+            projection_scalars(np.ones((2, 3)), method="poincare")
+
+
+class TestDifferentiableProjections:
+    def test_vanilla_tensor_matches_numpy(self):
+        x = np.random.default_rng(5).normal(size=(3, 4))
+        np.testing.assert_allclose(vanilla_projection_t(Tensor(x)).data,
+                                   vanilla_projection(x), atol=1e-9)
+
+    def test_cosh_tensor_matches_numpy(self):
+        x = np.random.default_rng(6).normal(size=(3, 4))
+        np.testing.assert_allclose(cosh_projection_t(Tensor(x), c=4.0).data,
+                                   cosh_projection(x, c=4.0), atol=1e-6)
+
+    @pytest.mark.parametrize("project_fn", [vanilla_projection_t, cosh_projection_t])
+    def test_gradients_flow_and_are_finite(self, project_fn):
+        x = Tensor(np.random.default_rng(7).normal(size=5), requires_grad=True)
+        project_fn(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_cosh_gradient_finite_near_zero(self):
+        x = Tensor(np.full(4, 1e-8), requires_grad=True)
+        cosh_projection_t(x).sum().backward()
+        assert np.isfinite(x.grad).all()

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the distance measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import distances as D
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def trajectories(min_points=1, max_points=8):
+    """Strategy producing small random trajectories."""
+    return st.integers(min_points, max_points).flatmap(
+        lambda n: arrays(np.float64, (n, 2),
+                         elements=st.floats(-5.0, 5.0, allow_nan=False, width=32)))
+
+
+@given(trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_dtw_symmetry_and_nonnegativity(a, b):
+    forward = D.dtw_distance(a, b)
+    assert forward >= 0.0
+    assert forward == pytest.approx(D.dtw_distance(b, a), rel=1e-9, abs=1e-9)
+
+
+@given(trajectories())
+@settings(**SETTINGS)
+def test_dtw_identity(a):
+    assert D.dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_sspd_symmetry_and_nonnegativity(a, b):
+    forward = D.sspd_distance(a, b)
+    assert forward >= 0.0
+    assert forward == pytest.approx(D.sspd_distance(b, a), rel=1e-9, abs=1e-9)
+
+
+@given(trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_edr_bounded_by_total_length(a, b):
+    value = D.edr_distance(a, b, epsilon=0.5)
+    assert 0.0 <= value <= len(a) + len(b)
+
+
+@given(trajectories(min_points=2), trajectories(min_points=2))
+@settings(**SETTINGS)
+def test_lcss_distance_in_unit_interval(a, b):
+    assert 0.0 <= D.lcss_distance(a, b, epsilon=0.5) <= 1.0
+
+
+@given(trajectories(), trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_hausdorff_triangle_inequality(a, b, c):
+    # Hausdorff is a true metric: the triangle inequality must always hold.
+    ab = D.hausdorff_distance(a, b)
+    bc = D.hausdorff_distance(b, c)
+    ac = D.hausdorff_distance(a, c)
+    assert ac <= ab + bc + 1e-9
+
+
+@given(trajectories(), trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_frechet_triangle_inequality(a, b, c):
+    ab = D.discrete_frechet_distance(a, b)
+    bc = D.discrete_frechet_distance(b, c)
+    ac = D.discrete_frechet_distance(a, c)
+    assert ac <= ab + bc + 1e-9
+
+
+@given(trajectories(), trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_erp_triangle_inequality(a, b, c):
+    ab = D.erp_distance(a, b)
+    bc = D.erp_distance(b, c)
+    ac = D.erp_distance(a, c)
+    assert ac <= ab + bc + 1e-6
+
+
+@given(trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_frechet_dominates_hausdorff(a, b):
+    assert D.discrete_frechet_distance(a, b) >= D.hausdorff_distance(a, b) - 1e-9
+
+
+@given(trajectories(), trajectories())
+@settings(**SETTINGS)
+def test_dtw_dominates_frechet(a, b):
+    # DTW sums costs along the coupling while Fréchet takes the max, so DTW >= Fréchet.
+    assert D.dtw_distance(a, b) >= D.discrete_frechet_distance(a, b) - 1e-9
+
+
+@given(trajectories(), st.floats(-3.0, 3.0), st.floats(-3.0, 3.0))
+@settings(**SETTINGS)
+def test_translation_invariance_of_shape_measures(a, dx, dy):
+    shift = np.array([dx, dy])
+    for measure in (D.dtw_distance, D.hausdorff_distance, D.discrete_frechet_distance):
+        assert measure(a, a + shift) == pytest.approx(measure(a + shift, a), rel=1e-9, abs=1e-9)

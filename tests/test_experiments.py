@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment harnesses (tiny settings so the suite stays fast)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    VARIANTS,
+    fig1_violation_accuracy,
+    fig5_rvs_distribution,
+    fig6_scalability,
+    fig7_robustness,
+    fig8_hyperparams,
+    format_percent,
+    format_table,
+    make_plugin,
+    percent_increase,
+    prepare_experiment,
+    table1_constraint_variability,
+    table3_accuracy,
+    table4_spatiotemporal,
+    table5_efficiency,
+    table6_ablation,
+    train_variant,
+)
+
+TINY = ExperimentSettings(model="meanpool", dataset_size=14, epochs=1, seed=0,
+                          hr_ks=(3, 5), ndcg_ks=(5,))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [33, 4]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.30%"
+        assert format_percent(None) == "-"
+
+    def test_percent_increase(self):
+        assert percent_increase(2.0, 3.0) == pytest.approx(0.5)
+        assert percent_increase(0.0, 3.0) == 0.0
+
+
+class TestRunner:
+    def test_prepare_experiment_shapes(self):
+        dataset, truth = prepare_experiment(TINY)
+        assert len(dataset) == TINY.dataset_size
+        assert truth.shape == (14, 14)
+        np.testing.assert_allclose(truth, truth.T)
+
+    def test_prepare_spatiotemporal_measure_forces_time(self):
+        settings = ExperimentSettings(model="meanpool", measure="tp", dataset_size=8,
+                                      preset="chengdu")
+        dataset, _ = prepare_experiment(settings)
+        assert dataset.has_time
+
+    def test_make_plugin_variants(self):
+        assert make_plugin(TINY, "original") is None
+        assert make_plugin(TINY, "lh-cosh").fusion is None
+        assert make_plugin(TINY, "fusion-dist").fusion is not None
+        with pytest.raises(KeyError):
+            make_plugin(TINY, "mystery")
+
+    def test_variants_constant(self):
+        assert VARIANTS == ("original", "lh-vanilla", "lh-cosh", "fusion-dist")
+
+    def test_train_variant_returns_metrics_and_history(self):
+        dataset, truth = prepare_experiment(TINY)
+        outcome = train_variant(TINY, dataset, truth, "original")
+        assert "hr@3" in outcome["metrics"]
+        assert len(outcome["history"]) == TINY.epochs
+        assert outcome["predicted_matrix"].shape == truth.shape
+
+
+class TestExperimentSmoke:
+    def test_table1(self):
+        result = table1_constraint_variability.run(presets=("chengdu",), measures=("dtw",),
+                                                   dataset_size=12, max_triplets=200)
+        assert "chengdu" in result["results"]
+        assert isinstance(table1_constraint_variability.format_result(result), str)
+
+    def test_fig1(self):
+        result = fig1_violation_accuracy.run(TINY, num_buckets=2, k=3, max_triplets=300)
+        assert len(result["results"]["original"]["bucket_hit_rates"]) == 2
+        assert isinstance(fig1_violation_accuracy.format_result(result), str)
+
+    def test_table3(self):
+        result = table3_accuracy.run(TINY, models=("meanpool",), measures=("dtw",),
+                                     presets=("chengdu",))
+        cell = result["results"]["chengdu"]["meanpool"]["dtw"]
+        assert "original" in cell and "lh-plugin" in cell
+        assert isinstance(table3_accuracy.format_result(result), str)
+
+    def test_table4(self):
+        settings = ExperimentSettings(model="meanpool", preset="tdrive", dataset_size=12,
+                                      epochs=1, hr_ks=(3, 5), ndcg_ks=(5,))
+        result = table4_spatiotemporal.run(settings, models=("meanpool",), measures=("tp",))
+        assert "meanpool" in result["results"]
+        assert isinstance(table4_spatiotemporal.format_result(result), str)
+
+    def test_fig5(self):
+        settings = ExperimentSettings(model="meanpool", dataset_size=20, epochs=1,
+                                      hr_ks=(3,), ndcg_ks=(3,))
+        result = fig5_rvs_distribution.run(settings, max_triplets=800, max_violating=50)
+        assert result["summary"]["ground_truth"]["fraction_positive"] == 1.0
+        assert isinstance(fig5_rvs_distribution.format_result(result), str)
+
+    def test_table5(self):
+        result = table5_efficiency.run(database_sizes=(200,), num_queries=4, repeats=1)
+        assert len(result["rows"]) == 1
+        assert isinstance(table5_efficiency.format_result(result), str)
+
+    def test_fig6(self):
+        result = fig6_scalability.run(TINY, fractions=(0.5, 1.0))
+        assert len(result["results"]["original"]) == 2
+        assert isinstance(fig6_scalability.format_result(result), str)
+
+    def test_fig7(self):
+        settings = ExperimentSettings(model="meanpool", dataset_size=12, epochs=2,
+                                      hr_ks=(3, 10), ndcg_ks=(5,))
+        result = fig7_robustness.run(settings)
+        assert len(result["curves"]["original"]["curve"]) == 2
+        assert isinstance(fig7_robustness.format_result(result), str)
+
+    def test_table6(self):
+        result = table6_ablation.run(TINY, measures=("dtw",), variants=("original", "lh-cosh"))
+        assert set(result["results"]["dtw"]) == {"original", "lh-cosh"}
+        assert isinstance(table6_ablation.format_result(result), str)
+
+    def test_fig8(self):
+        result = fig8_hyperparams.run(TINY, betas=(1.0,), compressions=(4.0,))
+        assert len(result["beta_sweep"]) == 1
+        assert len(result["compression_sweep"]) == 1
+        assert isinstance(fig8_hyperparams.format_result(result), str)

@@ -1,0 +1,135 @@
+"""Integration tests: the full pipeline and the paper's central claims end-to-end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import LHPlugin, LHPluginConfig, generate_dataset
+from repro.core import cosh_projection, lorentz_distance_matrix
+from repro.distances import normalize_matrix, pairwise_distance_matrix
+from repro.eval import evaluate_retrieval
+from repro.models import MeanPoolEncoder, NeutrajEncoder
+from repro.training import SimilarityTrainer
+from repro.violation import ratio_of_violation, violation_report
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestCentralClaims:
+    def test_euclidean_embeddings_cannot_violate_but_lorentz_can(self):
+        """The core observation of the paper, on raw embeddings."""
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(20, 6)) * 2
+        euclidean = np.sqrt(((embeddings[:, None] - embeddings[None]) ** 2).sum(-1))
+        assert ratio_of_violation(euclidean, max_triplets=800) == 0.0
+
+        hyperbolic = cosh_projection(embeddings, beta=1.0, c=2.0)
+        lorentz = lorentz_distance_matrix(hyperbolic, beta=1.0)
+        np.fill_diagonal(lorentz, 0.0)
+        assert ratio_of_violation(lorentz, max_triplets=800) > 0.0
+
+    def test_ground_truth_measures_violate_on_synthetic_data(self):
+        dataset = generate_dataset("chengdu", size=25, seed=1)
+        matrix = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+        report = violation_report(matrix, max_triplets=1500)
+        assert report["ratio_of_violation"] > 0.03
+        assert report["average_relative_violation"] > 0.0
+
+    def test_fused_distance_matrix_can_violate_triangle_inequality(self):
+        """After training, the plugin's distance space is not constrained to be metric."""
+        dataset = generate_dataset("chengdu", size=20, seed=2)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+        encoder = MeanPoolEncoder.build(dataset, embedding_dim=8, seed=0)
+        plugin = LHPlugin(LHPluginConfig(factor_dim=4, fusion_hidden=8))
+        trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=1e-2, seed=0)
+        trainer.fit(dataset, truth, epochs=2)
+        predicted = trainer.model_distance_matrix(dataset)
+        assert ratio_of_violation(predicted, max_triplets=800) > 0.0
+
+    def test_plugin_fits_violating_targets_better_than_euclidean(self):
+        """Regression quality on a severely violating synthetic target matrix.
+
+        A tiny fixed set of embeddings cannot reproduce targets that violate the
+        triangle inequality with a Euclidean distance; the fused Lorentz distance has
+        the extra degrees of freedom to get closer.
+        """
+        dataset = generate_dataset("porto", size=18, seed=3)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+
+        def final_loss(plugin):
+            encoder = MeanPoolEncoder.build(dataset, embedding_dim=8, seed=0)
+            trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=1e-2, seed=0)
+            history = trainer.fit(dataset, truth, epochs=5)
+            return history.losses[-1]
+
+        euclidean_loss = final_loss(None)
+        fused_loss = final_loss(LHPlugin(LHPluginConfig(factor_dim=4, fusion_hidden=8)))
+        assert fused_loss <= euclidean_loss * 1.25
+
+
+class TestEndToEndPipelines:
+    def test_spatial_pipeline_beats_untrained_baseline(self):
+        dataset = generate_dataset("chengdu", size=18, seed=4)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+        encoder = MeanPoolEncoder.build(dataset, embedding_dim=8, seed=0)
+        untrained = SimilarityTrainer(encoder, seed=0).model_distance_matrix(dataset)
+        before = evaluate_retrieval(untrained, truth, hr_ks=(5,), ndcg_ks=(5,))["hr@5"]
+
+        trainer = SimilarityTrainer(encoder, learning_rate=1e-2, seed=0)
+        trainer.fit(dataset, truth, epochs=5)
+        after = evaluate_retrieval(trainer.model_distance_matrix(dataset), truth,
+                                   hr_ks=(5,), ndcg_ks=(5,))["hr@5"]
+        assert after >= before
+
+    def test_recurrent_model_with_plugin_trains(self):
+        dataset = generate_dataset("chengdu", size=10, seed=5)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "sspd"))
+        encoder = NeutrajEncoder.build(dataset, embedding_dim=8, hidden_dim=12, seed=0)
+        plugin = LHPlugin(LHPluginConfig(factor_dim=4, fusion_hidden=8))
+        trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=5e-3, seed=0)
+        history = trainer.fit(dataset, truth, epochs=1)
+        assert np.isfinite(history.losses[0])
+        matrix = trainer.model_distance_matrix(dataset)
+        assert np.isfinite(matrix).all()
+
+    def test_spatiotemporal_pipeline(self):
+        dataset = generate_dataset("tdrive", size=10, seed=6)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=False), "tp"))
+        plugin = LHPlugin(LHPluginConfig(factor_dim=4, fusion_hidden=8, point_features=3))
+        encoder = MeanPoolEncoder.build(dataset, embedding_dim=8, seed=0)
+        trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=5e-3, seed=0)
+        history = trainer.fit(dataset, truth, epochs=2)
+        assert history.losses[-1] <= history.losses[0] * 2.0
+
+    def test_retrieval_from_pre_embedded_database(self):
+        dataset = generate_dataset("chengdu", size=15, seed=7)
+        truth = normalize_matrix(
+            pairwise_distance_matrix(dataset.point_arrays(spatial_only=True), "dtw"))
+        encoder = MeanPoolEncoder.build(dataset, embedding_dim=8, seed=0)
+        plugin = LHPlugin(LHPluginConfig(factor_dim=4, fusion_hidden=8))
+        trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=1e-2, seed=0)
+        trainer.fit(dataset, truth, epochs=2)
+
+        from repro.data import Normalizer
+
+        embeddings = trainer.embed(dataset)
+        normalizer = Normalizer.fit(dataset)
+        sequences = [normalizer.transform_points(t.coordinates) for t in dataset]
+        database = plugin.embed_database(embeddings, sequences)
+        distances = plugin.distance_matrix(database)
+        assert distances.shape == (15, 15)
+        metrics = evaluate_retrieval(distances, truth, hr_ks=(5,), ndcg_ks=(5,))
+        assert 0.0 <= metrics["hr@5"] <= 1.0

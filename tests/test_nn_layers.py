@@ -1,0 +1,178 @@
+"""Unit tests for nn layers, modules and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    init,
+)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_uniform((20, 10), rng)
+        limit = np.sqrt(6.0 / 30)
+        assert np.abs(weights).max() <= limit
+
+    def test_xavier_normal_scale(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_normal((200, 100), rng)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 300), rel=0.2)
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        weights = init.uniform((50,), rng, low=-0.5, high=0.5)
+        assert weights.min() >= -0.5 and weights.max() <= 0.5
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_orthogonal_is_orthonormal(self):
+        rng = np.random.default_rng(0)
+        q = init.orthogonal((6, 6), rng)
+        np.testing.assert_allclose(q @ q.T, np.eye(6), atol=1e-8)
+
+    def test_orthogonal_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init.orthogonal((5,), np.random.default_rng(0))
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones(3))
+                self.child = Linear(2, 2)
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "weight" in names
+        assert any(name.startswith("child.") for name in names)
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones(2)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in layer.parameters())
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+    def test_train_eval_mode(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        layer_a = Linear(3, 2, rng=np.random.default_rng(0))
+        layer_b = Linear(3, 2, rng=np.random.default_rng(1))
+        assert not np.allclose(layer_a.weight.data, layer_b.weight.data)
+        layer_b.load_state_dict(layer_a.state_dict())
+        np.testing.assert_allclose(layer_a.weight.data, layer_b.weight.data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 3))})
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_linearity(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=3)
+        doubled = layer(Tensor(2 * x)).data - layer.bias.data
+        single = layer(Tensor(x)).data - layer.bias.data
+        np.testing.assert_allclose(doubled, 2 * single, atol=1e-12)
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2)
+        layer(Tensor(np.ones(3))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 4)
+        assert table([1, 2, 3]).shape == (3, 4)
+
+    def test_gradient_only_on_used_rows(self):
+        table = Embedding(5, 3)
+        table([0, 0, 2]).sum().backward()
+        grad = table.weight.grad
+        assert np.abs(grad[0]).sum() > 0
+        assert np.abs(grad[1]).sum() == 0
+        assert np.abs(grad[2]).sum() > 0
+
+
+class TestMLPAndSequential:
+    def test_mlp_shape(self):
+        mlp = MLP(4, [8, 8], 2)
+        assert mlp(Tensor(np.ones(4))).shape == (2,)
+
+    def test_mlp_single_hidden_int(self):
+        mlp = MLP(4, 8, 2)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_mlp_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLP(2, 2, 2, activation="swish")
+
+    def test_sequential_order(self):
+        seq = Sequential(Identity(), Linear(2, 3), Identity())
+        assert len(seq) == 3
+        assert seq(Tensor(np.ones(2))).shape == (3,)
+
+
+class TestLayerNormDropout:
+    def test_layernorm_normalises(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.random.default_rng(0).normal(size=10)
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_training_masks(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones(1000)))
+        assert (out.data == 0).any()
+        assert out.data.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the functional ops in repro.nn.ops not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core import lorentz_inner as lorentz_inner_np
+from repro.nn import (
+    Tensor,
+    dot,
+    euclidean_distance,
+    log_softmax,
+    lorentz_inner,
+    pairwise_euclidean,
+    softmax,
+    squared_distance,
+    stack,
+)
+
+
+class TestReductionsOps:
+    def test_dot_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=6), rng.normal(size=6)
+        assert dot(Tensor(a), Tensor(b)).item() == pytest.approx(float(a @ b))
+
+    def test_dot_batched(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(dot(Tensor(a), Tensor(b)).data, (a * b).sum(axis=-1))
+
+    def test_squared_distance(self):
+        assert squared_distance(Tensor([0.0, 0.0]), Tensor([3.0, 4.0])).item() == pytest.approx(25.0)
+
+    def test_euclidean_distance(self):
+        assert euclidean_distance(Tensor([0.0, 0.0]), Tensor([3.0, 4.0])).item() == \
+            pytest.approx(5.0, abs=1e-6)
+
+    def test_euclidean_distance_gradient_at_zero_is_finite(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        euclidean_distance(a, Tensor([1.0, 1.0])).backward()
+        assert np.isfinite(a.grad).all()
+
+    def test_pairwise_euclidean(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 3))
+        matrix = pairwise_euclidean(Tensor(x)).data
+        direct = np.sqrt(((x[:, None] - x[None]) ** 2).sum(-1))
+        np.testing.assert_allclose(matrix, direct, atol=1e-5)
+        np.testing.assert_allclose(np.diag(matrix), np.zeros(5), atol=1e-5)
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_consistent_with_softmax(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 6)))
+        np.testing.assert_allclose(np.exp(log_softmax(x).data), softmax(x).data, atol=1e-9)
+
+    def test_log_softmax_rows_normalised(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(3, 5)))
+        np.testing.assert_allclose(np.exp(log_softmax(x).data).sum(axis=-1), np.ones(3))
+
+    def test_softmax_gradient_flows(self):
+        x = Tensor(np.random.default_rng(5).normal(size=4), requires_grad=True)
+        (softmax(x) * Tensor([1.0, 0.0, 0.0, 0.0])).sum().backward()
+        assert x.grad is not None
+        assert abs(x.grad.sum()) < 1e-9  # softmax Jacobian rows sum to zero
+
+
+class TestLorentzOp:
+    def test_matches_numpy_implementation(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(size=(5, 4)), rng.normal(size=(5, 4))
+        np.testing.assert_allclose(lorentz_inner(Tensor(a), Tensor(b)).data,
+                                   lorentz_inner_np(a, b), atol=1e-12)
+
+    def test_rejects_non_last_axis(self):
+        with pytest.raises(ValueError):
+            lorentz_inner(Tensor(np.ones((2, 3))), Tensor(np.ones((2, 3))), axis=0)
+
+    def test_differentiable(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        lorentz_inner(a, Tensor([2.0, 3.0, 4.0])).backward()
+        np.testing.assert_allclose(a.grad, [-2.0, 3.0, 4.0])
+
+
+class TestStack:
+    def test_stack_new_axis_position(self):
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 3)))
+        assert stack([a, b], axis=1).shape == (2, 2, 3)
+
+    def test_stack_gradient_split(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (stack([a, b], axis=1) * Tensor([[1.0, 10.0], [2.0, 20.0]])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [10.0, 20.0])

@@ -1,0 +1,128 @@
+"""Unit tests for optimisers, schedules, gradient clipping and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Linear,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+    mae_loss,
+    mse_loss,
+    relative_distance_loss,
+    triplet_margin_loss,
+    weighted_rank_loss,
+)
+
+
+def _fit_linear(optimizer_factory, steps=150):
+    rng = np.random.default_rng(0)
+    layer = Linear(3, 1, rng=rng)
+    optimizer = optimizer_factory(layer.parameters())
+    inputs = rng.normal(size=(64, 3))
+    targets = inputs @ np.array([1.0, -2.0, 0.5]) + 0.3
+    loss_value = None
+    for _ in range(steps):
+        optimizer.zero_grad()
+        predictions = layer(Tensor(inputs)).reshape(64)
+        loss = mse_loss(predictions, Tensor(targets))
+        loss.backward()
+        optimizer.step()
+        loss_value = float(loss.data)
+    return loss_value
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_linear_regression(self):
+        assert _fit_linear(lambda params: SGD(params, lr=0.05)) < 1e-2
+
+    def test_sgd_momentum_converges(self):
+        assert _fit_linear(lambda params: SGD(params, lr=0.02, momentum=0.9)) < 1e-2
+
+    def test_adam_converges_on_linear_regression(self):
+        assert _fit_linear(lambda params: Adam(params, lr=0.05)) < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(2, 1)
+        layer.weight.data = np.ones((1, 2))
+        optimizer = SGD(layer.parameters(), lr=0.1, weight_decay=1.0)
+        layer(Tensor(np.zeros(2))).sum().backward()
+        optimizer.step()
+        assert np.all(np.abs(layer.weight.data) < 1.0)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_optimizer_requires_positive_lr(self):
+        layer = Linear(2, 1)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), lr=0.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        layer = Linear(2, 1)
+        before = layer.weight.data.copy()
+        Adam(layer.parameters(), lr=0.1).step()
+        np.testing.assert_allclose(layer.weight.data, before)
+
+    def test_step_lr_schedule(self):
+        layer = Linear(2, 1)
+        optimizer = SGD(layer.parameters(), lr=1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.1)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_step_lr_validates_step_size(self):
+        layer = Linear(2, 1)
+        with pytest.raises(ValueError):
+            StepLR(SGD(layer.parameters(), lr=0.1), step_size=0)
+
+    def test_clip_grad_norm(self):
+        layer = Linear(4, 1)
+        (layer(Tensor(np.full(4, 100.0))) * 100.0).sum().backward()
+        total = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert total > 1.0
+        clipped = np.sqrt(sum(float((p.grad ** 2).sum())
+                              for p in layer.parameters() if p.grad is not None))
+        assert clipped == pytest.approx(1.0, rel=1e-6)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal_inputs(self):
+        x = Tensor([1.0, 2.0, 3.0])
+        assert mse_loss(x, x).item() == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        assert mse_loss(Tensor([2.0]), Tensor([0.0])).item() == pytest.approx(4.0)
+
+    def test_mae_value(self):
+        assert mae_loss(Tensor([2.0, -2.0]), Tensor([0.0, 0.0])).item() == pytest.approx(2.0)
+
+    def test_relative_loss_scales_with_target(self):
+        small = relative_distance_loss(Tensor([1.1]), Tensor([1.0]))
+        large = relative_distance_loss(Tensor([11.0]), Tensor([10.0]))
+        assert small.item() == pytest.approx(large.item(), rel=1e-2)
+
+    def test_weighted_rank_loss_prioritises_nearest(self):
+        target = Tensor([0.1, 10.0])
+        error_on_near = weighted_rank_loss(Tensor([1.1, 10.0]), target)
+        error_on_far = weighted_rank_loss(Tensor([0.1, 11.0]), target)
+        assert error_on_near.item() > error_on_far.item()
+
+    def test_triplet_margin_zero_when_separated(self):
+        loss = triplet_margin_loss(Tensor([0.1]), Tensor([5.0]), margin=1.0)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_triplet_margin_positive_when_violated(self):
+        loss = triplet_margin_loss(Tensor([2.0]), Tensor([1.0]), margin=1.0)
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_losses_are_differentiable(self):
+        prediction = Tensor([1.0, 2.0], requires_grad=True)
+        mse_loss(prediction, Tensor([0.0, 0.0])).backward()
+        assert prediction.grad is not None

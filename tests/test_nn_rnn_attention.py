@@ -1,0 +1,137 @@
+"""Unit tests for recurrent and attention layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    CoAttention,
+    GraphAttentionLayer,
+    GRUCell,
+    LSTMCell,
+    ScaledDotProductAttention,
+    Tensor,
+)
+
+
+class TestCells:
+    def test_lstm_cell_shapes(self):
+        cell = LSTMCell(3, 5)
+        state = cell.initial_state(2)
+        hidden, memory = cell(Tensor(np.ones((2, 3))), state)
+        assert hidden.shape == (2, 5)
+        assert memory.shape == (2, 5)
+
+    def test_gru_cell_shapes(self):
+        cell = GRUCell(3, 5)
+        hidden = cell(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        assert hidden.shape == (2, 5)
+
+    def test_lstm_cell_hidden_bounded(self):
+        cell = LSTMCell(2, 4)
+        hidden, _ = cell(Tensor(np.full((1, 2), 100.0)), cell.initial_state(1))
+        assert np.abs(hidden.data).max() <= 1.0
+
+    def test_gru_cell_hidden_bounded(self):
+        cell = GRUCell(2, 4)
+        hidden = cell(Tensor(np.full((1, 2), 100.0)), cell.initial_state(1))
+        assert np.abs(hidden.data).max() <= 1.0
+
+
+class TestSequenceEncoders:
+    @pytest.mark.parametrize("encoder_cls", [LSTM, GRU])
+    def test_batched_shapes(self, encoder_cls):
+        encoder = encoder_cls(3, 6)
+        outputs, final = encoder(Tensor(np.random.default_rng(0).normal(size=(2, 7, 3))))
+        assert outputs.shape == (2, 7, 6)
+        hidden = final[0] if isinstance(final, tuple) else final
+        assert hidden.shape == (2, 6)
+
+    @pytest.mark.parametrize("encoder_cls", [LSTM, GRU])
+    def test_unbatched_shapes(self, encoder_cls):
+        encoder = encoder_cls(3, 6)
+        outputs, final = encoder(Tensor(np.random.default_rng(0).normal(size=(7, 3))))
+        assert outputs.shape == (7, 6)
+        hidden = final[0] if isinstance(final, tuple) else final
+        assert hidden.shape == (6,)
+
+    @pytest.mark.parametrize("encoder_cls", [LSTM, GRU])
+    def test_return_sequence_false(self, encoder_cls):
+        encoder = encoder_cls(3, 6)
+        outputs, final = encoder(Tensor(np.ones((5, 3))), return_sequence=False)
+        assert outputs is None
+        hidden = final[0] if isinstance(final, tuple) else final
+        assert hidden.shape == (6,)
+
+    @pytest.mark.parametrize("encoder_cls", [LSTM, GRU])
+    def test_final_state_matches_last_output(self, encoder_cls):
+        encoder = encoder_cls(2, 4)
+        sequence = Tensor(np.random.default_rng(1).normal(size=(6, 2)))
+        outputs, final = encoder(sequence)
+        hidden = final[0] if isinstance(final, tuple) else final
+        np.testing.assert_allclose(outputs.data[-1], hidden.data)
+
+    @pytest.mark.parametrize("encoder_cls", [LSTM, GRU])
+    def test_gradients_reach_all_parameters(self, encoder_cls):
+        encoder = encoder_cls(2, 4)
+        _, final = encoder(Tensor(np.ones((5, 2))), return_sequence=False)
+        hidden = final[0] if isinstance(final, tuple) else final
+        (hidden * hidden).sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+    def test_order_sensitivity(self):
+        encoder = LSTM(1, 4, rng=np.random.default_rng(0))
+        forward = np.arange(5.0).reshape(5, 1)
+        _, (h1, _) = encoder(Tensor(forward), return_sequence=False)
+        _, (h2, _) = encoder(Tensor(forward[::-1].copy()), return_sequence=False)
+        assert not np.allclose(h1.data, h2.data)
+
+
+class TestAttention:
+    def test_dot_product_attention_weights_sum_to_one(self):
+        attention = ScaledDotProductAttention()
+        rng = np.random.default_rng(0)
+        out, weights = attention(Tensor(rng.normal(size=(3, 4))),
+                                 Tensor(rng.normal(size=(5, 4))),
+                                 Tensor(rng.normal(size=(5, 6))))
+        assert out.shape == (3, 6)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones(3))
+
+    def test_dot_product_attention_mask(self):
+        attention = ScaledDotProductAttention()
+        query = Tensor(np.ones((1, 2)))
+        key = Tensor(np.ones((3, 2)))
+        value = Tensor(np.eye(3))
+        mask = np.array([[True, False, False]])
+        _, weights = attention(query, key, value, mask=mask)
+        np.testing.assert_allclose(weights.data, [[1.0, 0.0, 0.0]], atol=1e-6)
+
+    def test_coattention_shapes_and_gradients(self):
+        module = CoAttention(6)
+        a = Tensor(np.random.default_rng(0).normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(5, 6)), requires_grad=True)
+        fused_a, fused_b = module(a, b)
+        assert fused_a.shape == (4, 6)
+        assert fused_b.shape == (5, 6)
+        (fused_a.sum() + fused_b.sum()).backward()
+        assert a.grad is not None and b.grad is not None
+
+    def test_graph_attention_respects_adjacency(self):
+        layer = GraphAttentionLayer(3, 4, rng=np.random.default_rng(0))
+        features = np.random.default_rng(1).normal(size=(4, 3))
+        isolated = np.eye(4, dtype=bool)
+        out_isolated = layer(Tensor(features), isolated)
+        connected = isolated.copy()
+        connected[0, 1] = connected[1, 0] = True
+        out_connected = layer(Tensor(features), connected)
+        # Node 2 has the same neighbourhood in both graphs, node 0 does not.
+        np.testing.assert_allclose(out_isolated.data[2], out_connected.data[2])
+        assert not np.allclose(out_isolated.data[0], out_connected.data[0])
+
+    def test_graph_attention_gradients(self):
+        layer = GraphAttentionLayer(3, 4)
+        features = Tensor(np.ones((3, 3)), requires_grad=True)
+        layer(features, np.ones((3, 3), dtype=bool)).sum().backward()
+        assert features.grad is not None
+        assert all(p.grad is not None for p in layer.parameters())

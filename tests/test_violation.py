@@ -1,0 +1,161 @@
+"""Unit tests for the triangle-inequality violation metrics and samplers."""
+
+import numpy as np
+import pytest
+
+from repro import distances as D
+from repro.violation import (
+    average_relative_violation,
+    iter_triplets,
+    per_trajectory_violation_score,
+    ratio_of_violation,
+    relative_violation_scale,
+    sample_violating_triplets,
+    sim_slack,
+    stratify_queries_by_violation,
+    triangle_violation_flag,
+    violation_report,
+)
+
+
+def matrix_from(distances: dict, n: int) -> np.ndarray:
+    matrix = np.zeros((n, n))
+    for (i, j), value in distances.items():
+        matrix[i, j] = matrix[j, i] = value
+    return matrix
+
+
+# Example 12 of the paper: four trajectories, only (a, b, c) violates, with
+# f(a,b) = 5, f(a,c) = 2, f(b,c) = 1 -> RV = 1/4, ARVS = 2/3.
+EXAMPLE12 = matrix_from({(0, 1): 5.0, (0, 2): 2.0, (1, 2): 1.0,
+                         (0, 3): 3.0, (1, 3): 3.0, (2, 3): 3.0}, 4)
+
+
+class TestTripletIteration:
+    def test_exhaustive_count(self):
+        assert len(list(iter_triplets(5))) == 10
+
+    def test_small_count_yields_nothing(self):
+        assert list(iter_triplets(2)) == []
+
+    def test_sampled_count(self):
+        triplets = list(iter_triplets(10, max_triplets=7, rng=np.random.default_rng(0)))
+        assert len(triplets) == 7
+        assert len(set(triplets)) == 7
+
+    def test_sampled_indices_sorted(self):
+        for i, j, k in iter_triplets(8, max_triplets=5, rng=np.random.default_rng(0)):
+            assert i < j < k
+
+
+class TestFlagAndSlack:
+    def test_sim_slack_value(self):
+        assert sim_slack(EXAMPLE12, 0, 1, 2) == pytest.approx(5.0 - 2.0 - 1.0)
+
+    def test_violating_triplet_flag(self):
+        assert triangle_violation_flag(EXAMPLE12, 0, 1, 2) == 1
+
+    def test_non_violating_triplet_flag(self):
+        assert triangle_violation_flag(EXAMPLE12, 0, 1, 3) == 0
+
+    def test_flag_tolerance(self):
+        matrix = matrix_from({(0, 1): 2.0, (0, 2): 1.0, (1, 2): 1.0}, 3)
+        assert triangle_violation_flag(matrix, 0, 1, 2) == 0
+
+    def test_rvs_example12(self):
+        assert relative_violation_scale(EXAMPLE12, 0, 1, 2) == pytest.approx(2.0 / 3.0)
+
+    def test_rvs_negative_for_satisfied_triplet(self):
+        matrix = matrix_from({(0, 1): 1.0, (0, 2): 1.0, (1, 2): 1.0}, 3)
+        assert relative_violation_scale(matrix, 0, 1, 2) < 0.0
+
+    def test_rvs_handles_all_largest_sides(self):
+        # Whatever permutation carries the largest distance, RVS should be positive
+        # exactly when the triangle inequality is broken.
+        for largest_pair in ((0, 1), (0, 2), (1, 2)):
+            distances = {(0, 1): 1.0, (0, 2): 1.0, (1, 2): 1.0}
+            distances[largest_pair] = 5.0
+            matrix = matrix_from(distances, 3)
+            assert relative_violation_scale(matrix, 0, 1, 2) > 0.0
+
+
+class TestAggregateStatistics:
+    def test_rv_example12(self):
+        assert ratio_of_violation(EXAMPLE12) == pytest.approx(0.25)
+
+    def test_arvs_example12(self):
+        assert average_relative_violation(EXAMPLE12) == pytest.approx(2.0 / 3.0)
+
+    def test_violation_report_consistency(self):
+        report = violation_report(EXAMPLE12)
+        assert report["triplets"] == 4
+        assert report["violating_triplets"] == 1
+        assert report["ratio_of_violation"] == pytest.approx(0.25)
+        assert report["average_relative_violation"] == pytest.approx(2.0 / 3.0)
+
+    def test_metric_matrix_has_no_violations(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((12, 2))
+        matrix = np.sqrt(((points[:, None] - points[None]) ** 2).sum(-1))
+        assert ratio_of_violation(matrix) == 0.0
+        assert average_relative_violation(matrix) == 0.0
+
+    def test_dtw_matrix_has_violations(self):
+        ta = np.array([[0.0, 0.0], [0.0, 1.0], [0.0, 3.0]])
+        tb = np.array([[2.0, 0.0], [0.0, 1.0], [2.0, 3.0]])
+        tc = np.array([[3.0, 0.0], [3.0, 1.0], [4.0, 3.0], [5.0, 3.0]])
+        matrix = D.pairwise_distance_matrix([ta, tb, tc], "dtw")
+        assert ratio_of_violation(matrix) == pytest.approx(1.0)
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError):
+            ratio_of_violation(np.zeros((2, 3)))
+
+    def test_sampled_estimate_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.random((15, 15))
+        matrix = (matrix + matrix.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        exact = ratio_of_violation(matrix)
+        sampled = ratio_of_violation(matrix, max_triplets=300, seed=0)
+        assert sampled == pytest.approx(exact, abs=0.15)
+
+
+class TestSamplers:
+    def test_sample_violating_triplets_all_violate(self):
+        triplets = sample_violating_triplets(EXAMPLE12, max_triplets=None)
+        assert triplets == [(0, 1, 2)]
+
+    def test_sample_violating_triplets_limit(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.random((20, 20))
+        matrix = (matrix + matrix.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        triplets = sample_violating_triplets(matrix, max_triplets=2000, limit=5)
+        assert len(triplets) <= 5
+        for triplet in triplets:
+            assert triangle_violation_flag(matrix, *triplet) == 1
+
+    def test_per_trajectory_score_nonzero_for_violators(self):
+        scores = per_trajectory_violation_score(EXAMPLE12)
+        assert scores[0] > 0 and scores[1] > 0 and scores[2] > 0
+        assert scores[3] == pytest.approx(0.0)
+
+    def test_stratify_partitions_all_queries(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.random((12, 12))
+        matrix = (matrix + matrix.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        buckets = stratify_queries_by_violation(matrix, num_buckets=3)
+        assert sum(len(bucket) for bucket in buckets) == 12
+        combined = sorted(int(i) for bucket in buckets for i in bucket)
+        assert combined == list(range(12))
+
+    def test_stratify_orders_by_score(self):
+        buckets = stratify_queries_by_violation(EXAMPLE12, num_buckets=2)
+        scores = per_trajectory_violation_score(EXAMPLE12)
+        assert scores[buckets[0]].mean() <= scores[buckets[-1]].mean()
+
+    def test_stratify_validation(self):
+        with pytest.raises(ValueError):
+            stratify_queries_by_violation(EXAMPLE12, num_buckets=1)

@@ -1,0 +1,101 @@
+"""Property-based tests for the violation statistics and experiment settings helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.experiments import ExperimentSettings
+from repro.violation import (
+    ratio_of_violation,
+    relative_violation_scale,
+    triangle_violation_flag,
+    violation_report,
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+def symmetric_matrices(min_size=3, max_size=8):
+    """Random symmetric matrices with strictly positive off-diagonal entries."""
+
+    def build(values):
+        n = values.shape[0]
+        matrix = (values + values.T) / 2
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    return st.integers(min_size, max_size).flatmap(
+        lambda n: arrays(np.float64, (n, n),
+                         elements=st.floats(0.0625, 10.0, allow_nan=False, width=32))
+        .map(build))
+
+
+def point_sets(min_points=3, max_points=10):
+    return st.integers(min_points, max_points).flatmap(
+        lambda n: arrays(np.float64, (n, 2),
+                         elements=st.floats(-5.0, 5.0, allow_nan=False, width=32)))
+
+
+@given(symmetric_matrices())
+@settings(**SETTINGS)
+def test_flag_consistent_with_rvs_sign(matrix):
+    n = len(matrix)
+    for i in range(n - 2):
+        for j in range(i + 1, n - 1):
+            for k in range(j + 1, n):
+                flag = triangle_violation_flag(matrix, i, j, k)
+                scale = relative_violation_scale(matrix, i, j, k)
+                if flag:
+                    assert scale > 0.0
+                else:
+                    assert scale <= 1e-9
+
+
+@given(symmetric_matrices())
+@settings(**SETTINGS)
+def test_rv_between_zero_and_one(matrix):
+    rv = ratio_of_violation(matrix)
+    assert 0.0 <= rv <= 1.0
+
+
+@given(symmetric_matrices())
+@settings(**SETTINGS)
+def test_report_consistent_with_individual_statistics(matrix):
+    report = violation_report(matrix)
+    assert report["ratio_of_violation"] == pytest.approx(ratio_of_violation(matrix))
+    assert report["violating_triplets"] <= report["triplets"]
+
+
+@given(point_sets())
+@settings(**SETTINGS)
+def test_euclidean_point_distances_never_violate(points):
+    matrix = np.sqrt(((points[:, None] - points[None]) ** 2).sum(-1))
+    assert ratio_of_violation(matrix) == 0.0
+
+
+@given(symmetric_matrices())
+@settings(**SETTINGS)
+def test_scaling_matrix_preserves_statistics(matrix):
+    report = violation_report(matrix)
+    scaled = violation_report(matrix * 7.5)
+    assert scaled["ratio_of_violation"] == pytest.approx(report["ratio_of_violation"])
+    assert scaled["average_relative_violation"] == pytest.approx(
+        report["average_relative_violation"], rel=1e-9, abs=1e-12)
+
+
+class TestExperimentSettings:
+    def test_measure_kwargs_for_edr(self):
+        assert "epsilon" in ExperimentSettings(measure="edr").measure_kwargs()
+        assert ExperimentSettings(measure="dtw").measure_kwargs() == {}
+
+    def test_needs_time(self):
+        assert ExperimentSettings(measure="tp").needs_time()
+        assert ExperimentSettings(model="st2vec").needs_time()
+        assert not ExperimentSettings(measure="dtw", model="neutraj").needs_time()
+
+    def test_default_plugin_config(self):
+        settings = ExperimentSettings()
+        assert settings.plugin.beta == 1.0
+        assert settings.plugin.compression == 4.0
