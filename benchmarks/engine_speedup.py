@@ -1,0 +1,129 @@
+"""Micro-benchmark: engine speedup (serial reference vs vectorized strategies).
+
+Measures the two hot paths the compute engine replaces — pairwise distance-matrix
+construction and exhaustive triplet violation statistics — and records the speedups
+to ``benchmarks/results/engine_speedup.json`` so the performance trajectory of the
+repo is tracked across PRs.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/engine_speedup.py [--size 60] [--repeats 3]
+
+The acceptance floor for the engine PR was ≥5× on ``pairwise_distance_matrix``
+(DTW, n=60) and ≥10× on ``violation_report`` (n=60, exhaustive triplets); the
+script prints both ratios and flags any regression below those floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import generate_dataset
+from repro.engine import MatrixEngine
+from repro.eval import matrix_build_latency, time_callable
+from repro.violation import violation_report
+
+RESULTS_PATH = Path(__file__).parent / "results" / "engine_speedup.json"
+
+#: (label, floor) — minimum acceptable speedups for the tracked probes.
+FLOORS = {"pairwise_dtw": 5.0, "violation_report": 10.0}
+
+
+def benchmark_pairwise(trajectories, measures, repeats: int) -> dict:
+    serial = MatrixEngine(strategy="serial", use_kernels=False)
+    vectorized = MatrixEngine(strategy="chunked")
+    rows = {}
+    for measure in measures:
+        kwargs = {"epsilon": 0.25} if measure in ("edr", "lcss") else {}
+        reference = serial.pairwise(trajectories, measure, **kwargs)
+        candidate = vectorized.pairwise(trajectories, measure, **kwargs)
+        max_diff = float(np.abs(reference - candidate).max())
+        serial_s = matrix_build_latency(trajectories, measure, engine=serial,
+                                        repeats=repeats, **kwargs)["latency_seconds"]
+        vector_s = matrix_build_latency(trajectories, measure, engine=vectorized,
+                                        repeats=repeats, **kwargs)["latency_seconds"]
+        rows[measure] = {
+            "serial_seconds": serial_s,
+            "vectorized_seconds": vector_s,
+            "speedup": serial_s / vector_s,
+            "max_abs_difference": max_diff,
+        }
+    return rows
+
+
+def benchmark_violation(matrix, repeats: int) -> dict:
+    scalar_s = time_callable(lambda: violation_report(matrix, vectorized=False),
+                             repeats=repeats)
+    vector_s = time_callable(lambda: violation_report(matrix), repeats=repeats)
+    scalar = violation_report(matrix, vectorized=False)
+    vectorized = violation_report(matrix)
+    return {
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "speedup": scalar_s / vector_s,
+        "rv_difference": abs(scalar["ratio_of_violation"]
+                             - vectorized["ratio_of_violation"]),
+        "arvs_difference": abs(scalar["average_relative_violation"]
+                               - vectorized["average_relative_violation"]),
+        "triplets": scalar["triplets"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=60,
+                        help="number of trajectories (default 60)")
+    parser.add_argument("--preset", default="chengdu")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--measures", nargs="+", default=["dtw", "erp", "edr", "lcss"])
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a speedup floor is missed "
+                             "(off by default: shared CI runners make wall-clock "
+                             "ratios too noisy to gate on)")
+    args = parser.parse_args()
+
+    dataset = generate_dataset(args.preset, size=args.size, seed=0)
+    trajectories = dataset.point_arrays(spatial_only=True)
+    matrix = MatrixEngine().pairwise(trajectories, "dtw")
+
+    pairwise = benchmark_pairwise(trajectories, args.measures, args.repeats)
+    violation = benchmark_violation(matrix, args.repeats)
+
+    record = {
+        "preset": args.preset,
+        "size": args.size,
+        "repeats": args.repeats,
+        "platform": platform.platform(),
+        "pairwise": pairwise,
+        "violation_report": violation,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"n={args.size} trajectories ({args.preset}), median of {args.repeats}")
+    for measure, row in pairwise.items():
+        print(f"  pairwise {measure:8s} {row['serial_seconds']:.4f}s -> "
+              f"{row['vectorized_seconds']:.4f}s  ({row['speedup']:.1f}x, "
+              f"maxdiff {row['max_abs_difference']:.2e})")
+    print(f"  violation_report  {violation['scalar_seconds']:.4f}s -> "
+          f"{violation['vectorized_seconds']:.4f}s  ({violation['speedup']:.1f}x, "
+          f"{violation['triplets']} triplets)")
+    print(f"saved {RESULTS_PATH}")
+
+    failures = []
+    if pairwise.get("dtw", {}).get("speedup", float("inf")) < FLOORS["pairwise_dtw"]:
+        failures.append(f"pairwise dtw speedup below {FLOORS['pairwise_dtw']}x")
+    if violation["speedup"] < FLOORS["violation_report"]:
+        failures.append(f"violation_report speedup below {FLOORS['violation_report']}x")
+    for failure in failures:
+        print(f"WARNING: {failure}")
+    return 1 if failures and args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ learning.  This package implements the plugin and every substrate it needs:
 * :mod:`repro.nn` — a from-scratch NumPy autodiff / neural-network engine;
 * :mod:`repro.distances` — DTW, SSPD, EDR, ERP, LCSS, Hausdorff, discrete Fréchet,
   TP and DITA trajectory distances;
+* :mod:`repro.engine` — the pluggable compute engine: vectorized wavefront kernels,
+  serial/chunked/process execution strategies and a content-addressed matrix cache;
 * :mod:`repro.data` — trajectory containers, synthetic city generators, grid /
   quadtree preprocessing;
 * :mod:`repro.violation` — triangle-inequality violation statistics (TVF, RV, ARVS);
@@ -41,6 +43,7 @@ from .core import (
     vanilla_projection,
 )
 from .data import Trajectory, TrajectoryDataset, generate_dataset, available_presets
+from .engine import MatrixEngine, get_default_engine, set_default_engine
 from .violation import ratio_of_violation, average_relative_violation, violation_report
 
 __version__ = "1.0.0"
@@ -49,6 +52,7 @@ __all__ = [
     "LHPlugin", "LHPluginConfig", "PluggedEncoder",
     "lorentz_distance", "lorentz_inner", "cosh_projection", "vanilla_projection",
     "Trajectory", "TrajectoryDataset", "generate_dataset", "available_presets",
+    "MatrixEngine", "get_default_engine", "set_default_engine",
     "ratio_of_violation", "average_relative_violation", "violation_report",
     "__version__",
 ]

@@ -20,12 +20,21 @@ __all__ = [
     "register_distance",
     "get_distance",
     "available_distances",
+    "register_kernel",
+    "get_kernel",
+    "available_kernels",
     "METRIC_PROPERTIES",
 ]
 
 DistanceFunction = Callable[[np.ndarray, np.ndarray], float]
 
 _REGISTRY: dict[str, DistanceFunction] = {}
+
+#: Vectorized (wavefront / broadcast) kernels living alongside the reference
+#: implementations.  A kernel shares the reference function's signature and must
+#: be numerically interchangeable with it (the engine parity suite enforces a
+#: 1e-9 agreement); the compute engine prefers a kernel when one is registered.
+_KERNEL_REGISTRY: dict[str, DistanceFunction] = {}
 
 #: Which registered measures are true metrics (satisfy the triangle inequality).
 #: DTW, SSPD and EDR famously do not; Hausdorff and discrete Fréchet do.
@@ -84,3 +93,31 @@ def get_distance(name: str) -> DistanceFunction:
 def available_distances() -> list[str]:
     """Names of every registered distance function."""
     return sorted(_REGISTRY)
+
+
+def register_kernel(name: str):
+    """Decorator registering a vectorized kernel for the measure ``name``.
+
+    The measure itself does not need to be registered yet (kernel modules may be
+    imported before the reference implementations), but the names must agree for
+    the engine to pair them up.
+    """
+
+    def decorator(func: DistanceFunction) -> DistanceFunction:
+        key = name.lower()
+        if key in _KERNEL_REGISTRY:
+            raise KeyError(f"kernel for '{name}' already registered")
+        _KERNEL_REGISTRY[key] = func
+        return func
+
+    return decorator
+
+
+def get_kernel(name: str) -> DistanceFunction | None:
+    """Vectorized kernel for ``name``, or None when only the reference exists."""
+    return _KERNEL_REGISTRY.get(name.lower())
+
+
+def available_kernels() -> list[str]:
+    """Names of every measure that has a vectorized kernel."""
+    return sorted(_KERNEL_REGISTRY)

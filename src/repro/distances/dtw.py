@@ -30,12 +30,31 @@ def _dtw_table(cost: np.ndarray) -> np.ndarray:
 
 
 @register_distance("dtw", is_metric=False)
-def dtw_distance(trajectory_a, trajectory_b) -> float:
-    """DTW distance between two trajectories (sum-of-costs formulation)."""
+def dtw_distance(trajectory_a, trajectory_b, band: int | None = None) -> float:
+    """DTW distance between two trajectories (sum-of-costs formulation).
+
+    ``band`` restricts the warping path to the Sakoe–Chiba band ``|i − j| ≤ band``
+    (widened to ``|n − m|`` when the lengths differ by more), matching the
+    vectorized kernel's banded mode so both implementations accept the same
+    keyword arguments.
+    """
     a = as_points(trajectory_a)
     b = as_points(trajectory_b)
     cost = point_distance_matrix(a, b)
-    return float(_dtw_table(cost)[len(a), len(b)])
+    n, m = cost.shape
+    if band is None:
+        return float(_dtw_table(cost)[n, m])
+    radius = max(int(band), abs(n - m))
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        row_cost = cost[i - 1]
+        previous = table[i - 1]
+        current = table[i]
+        for j in range(max(1, i - radius), min(m, i + radius) + 1):
+            best = min(previous[j], current[j - 1], previous[j - 1])
+            current[j] = row_cost[j - 1] + best
+    return float(table[n, m])
 
 
 def dtw_distance_with_path(trajectory_a, trajectory_b) -> tuple[float, list[tuple[int, int]]]:

@@ -4,15 +4,18 @@ Similarity-learning experiments need the full matrix of trajectory distances for
 training set (to supervise the encoder) and for query/database splits (to define the
 retrieval ground truth).  These helpers compute such matrices for any registered
 distance measure and derive k-nearest-neighbour lists from them.
+
+Matrix construction is delegated to the compute engine (:mod:`repro.engine`): the
+functions here are thin wrappers that keep the historical signatures while routing
+through the process-wide default engine, or through an explicit ``engine`` argument
+when the caller wants a specific execution strategy or cache.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
-
-from .base import get_distance
 
 __all__ = [
     "pairwise_distance_matrix",
@@ -22,35 +25,26 @@ __all__ = [
 ]
 
 
-def _resolve(measure) -> Callable:
-    if callable(measure):
-        return measure
-    return get_distance(measure)
+def _resolve_engine(engine):
+    if engine is not None:
+        return engine
+    # Imported lazily: repro.engine depends on repro.distances.base, so a module-level
+    # import here would cycle during package initialisation.
+    from ..engine import get_default_engine
+
+    return get_default_engine()
 
 
-def pairwise_distance_matrix(trajectories: Sequence, measure="dtw",
+def pairwise_distance_matrix(trajectories: Sequence, measure="dtw", engine=None,
                              **measure_kwargs) -> np.ndarray:
     """Symmetric matrix of distances between every pair of ``trajectories``."""
-    distance = _resolve(measure)
-    n = len(trajectories)
-    matrix = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            value = distance(trajectories[i], trajectories[j], **measure_kwargs)
-            matrix[i, j] = value
-            matrix[j, i] = value
-    return matrix
+    return _resolve_engine(engine).pairwise(trajectories, measure, **measure_kwargs)
 
 
 def cross_distance_matrix(queries: Sequence, database: Sequence, measure="dtw",
-                          **measure_kwargs) -> np.ndarray:
+                          engine=None, **measure_kwargs) -> np.ndarray:
     """Matrix of distances from every query to every database trajectory."""
-    distance = _resolve(measure)
-    matrix = np.zeros((len(queries), len(database)))
-    for i, query in enumerate(queries):
-        for j, candidate in enumerate(database):
-            matrix[i, j] = distance(query, candidate, **measure_kwargs)
-    return matrix
+    return _resolve_engine(engine).cross(queries, database, measure, **measure_kwargs)
 
 
 def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> np.ndarray:
@@ -61,7 +55,10 @@ def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> n
     matrix:
         (n_queries, n_database) distance matrix.
     k:
-        Number of neighbours to return per row.
+        Number of neighbours to return per row.  Must not exceed the number of
+        available candidates (columns, minus one when ``exclude_self`` removes the
+        diagonal) — silently returning fewer columns used to corrupt downstream
+        HR@k denominators on small matrices.
     exclude_self:
         If True the diagonal entry (same index) is removed from each row's candidates,
         which is the convention when queries are drawn from the database itself.
@@ -69,6 +66,12 @@ def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> n
     matrix = np.asarray(matrix, dtype=np.float64)
     if k <= 0:
         raise ValueError("k must be positive")
+    candidates = matrix.shape[1] - (1 if exclude_self else 0)
+    if k > candidates:
+        raise ValueError(
+            f"k={k} exceeds the {candidates} available candidates "
+            f"({matrix.shape[1]} columns{', diagonal excluded' if exclude_self else ''})"
+        )
     working = matrix.copy()
     if exclude_self:
         limit = min(working.shape)

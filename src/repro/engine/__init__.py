@@ -1,0 +1,40 @@
+"""``repro.engine`` — pluggable compute engine for matrix construction.
+
+The engine layer sits between the distance measures and everything that consumes
+distance matrices (training, violation analysis, experiments).  It owns:
+
+* :class:`MatrixEngine` — selectable execution strategies (``serial`` reference
+  loop, ``chunked`` batched kernels, ``process`` pool) behind one API;
+* vectorized wavefront kernels for the DP distances (:mod:`repro.engine.kernels`),
+  registered alongside the reference implementations;
+* a content-addressed matrix cache (:mod:`repro.engine.cache`).
+
+``get_default_engine()`` returns the process-wide engine used by the thin wrappers
+in :mod:`repro.distances.matrix`.
+"""
+
+from .cache import MatrixCache, cache_key, fingerprint_trajectories
+from . import kernels  # noqa: F401 — importing registers the vectorized kernels
+from .kernels import (
+    available_batch_kernels,
+    get_batch_kernel,
+    dtw_batch,
+    erp_batch,
+    edr_batch,
+    lcss_batch,
+    frechet_batch,
+    dita_batch,
+)
+from .executor import (
+    STRATEGIES,
+    MatrixEngine,
+    get_default_engine,
+    set_default_engine,
+)
+
+__all__ = [
+    "MatrixCache", "cache_key", "fingerprint_trajectories",
+    "available_batch_kernels", "get_batch_kernel",
+    "dtw_batch", "erp_batch", "edr_batch", "lcss_batch", "frechet_batch", "dita_batch",
+    "STRATEGIES", "MatrixEngine", "get_default_engine", "set_default_engine",
+]

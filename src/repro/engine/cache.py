@@ -1,0 +1,105 @@
+"""Distance-matrix cache keyed by (dataset fingerprint, measure, kwargs).
+
+Ground-truth matrices are by far the most expensive artefact of every experiment and
+are recomputed identically across tables/figures that share a dataset.  The cache
+stores them under a content-addressed key: a SHA-256 fingerprint of the trajectory
+point data combined with the measure name and its keyword arguments.  Entries live in
+an in-memory LRU map and, when a directory is configured, as ``.npy`` files on disk so
+they survive the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["fingerprint_trajectories", "cache_key", "MatrixCache"]
+
+
+def fingerprint_trajectories(trajectories: Sequence) -> str:
+    """Content hash of a trajectory collection (order- and value-sensitive)."""
+    digest = hashlib.sha256()
+    digest.update(str(len(trajectories)).encode())
+    for trajectory in trajectories:
+        points = np.ascontiguousarray(
+            np.asarray(getattr(trajectory, "points", trajectory), dtype=np.float64))
+        digest.update(str(points.shape).encode())
+        digest.update(points.tobytes())
+    return digest.hexdigest()
+
+
+def _measure_name(measure) -> str:
+    if isinstance(measure, str):
+        return measure.lower()
+    return getattr(measure, "__qualname__", repr(measure))
+
+
+def cache_key(fingerprint: str, measure, measure_kwargs: dict | None = None,
+              kind: str = "pairwise") -> str:
+    """Stable key for one (data, measure, kwargs, pairwise/cross) combination."""
+    payload = json.dumps({
+        "fingerprint": fingerprint,
+        "measure": _measure_name(measure),
+        "kwargs": {key: repr(value) for key, value in sorted((measure_kwargs or {}).items())},
+        "kind": kind,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class MatrixCache:
+    """In-memory LRU of distance matrices with optional on-disk persistence."""
+
+    def __init__(self, directory: str | Path | None = None, max_entries: int = 128):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npy"
+
+    def get(self, key: str) -> np.ndarray | None:
+        """Cached matrix for ``key`` (memory first, then disk), or None."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key].copy()
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                matrix = np.load(path)
+                self._remember(key, matrix)
+                self.hits += 1
+                return matrix.copy()
+        self.misses += 1
+        return None
+
+    def put(self, key: str, matrix: np.ndarray) -> None:
+        """Store ``matrix`` under ``key`` (and persist it when a directory is set)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        self._remember(key, matrix.copy())
+        if self.directory is not None:
+            np.save(self._path(key), matrix)
+
+    def _remember(self, key: str, matrix: np.ndarray) -> None:
+        self._entries[key] = matrix
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (disk files are left in place)."""
+        self._entries.clear()

@@ -1,0 +1,212 @@
+"""Pluggable matrix-construction engine (serial / chunked / process strategies).
+
+:class:`MatrixEngine` owns the two hot paths of every experiment: building pairwise
+and cross distance matrices, and computing triplet violation statistics.  Layers
+above (``distances.matrix``, ``experiments.runner``, ``eval.efficiency``) route
+through an engine instance instead of looping in place, so execution policy is a
+configuration knob rather than a code path:
+
+* ``serial`` — one pair at a time; with ``use_kernels=False`` this is exactly the
+  historical reference loop (it remains the baseline of the parity suite and the
+  micro-benchmarks).
+* ``chunked`` — pairs are grouped into chunks and each chunk is dispatched to a
+  batched wavefront kernel (:mod:`repro.engine.kernels`) when the measure has one,
+  which amortises NumPy call overhead across the whole chunk.
+* ``process`` — chunks are distributed over a process pool; useful once datasets
+  outgrow a single core.  Measures must be picklable (registered names always are).
+
+Results are cached in an optional :class:`~repro.engine.cache.MatrixCache` keyed by
+the trajectory content fingerprint, the measure and its kwargs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from ..distances.base import get_distance, get_kernel
+from .cache import MatrixCache, cache_key, fingerprint_trajectories
+from .kernels import get_batch_kernel
+
+__all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGIES"]
+
+STRATEGIES = ("serial", "chunked", "process")
+
+_STRATEGY_ENV = "REPRO_ENGINE_STRATEGY"
+
+
+def _pair_function(measure, use_kernels: bool):
+    """Per-pair distance callable: vectorized kernel if allowed, else the reference."""
+    if callable(measure):
+        return measure
+    if use_kernels:
+        kernel = get_kernel(measure)
+        if kernel is not None:
+            return kernel
+    return get_distance(measure)
+
+
+def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: dict,
+                  use_kernels: bool) -> np.ndarray:
+    """Distances for aligned trajectory lists, batched when a batch kernel exists."""
+    if use_kernels and isinstance(measure, str):
+        batch = get_batch_kernel(measure)
+        if batch is not None:
+            return np.asarray(batch(list_a, list_b, **measure_kwargs), dtype=np.float64)
+    func = _pair_function(measure, use_kernels)
+    return np.array([func(a, b, **measure_kwargs) for a, b in zip(list_a, list_b)],
+                    dtype=np.float64)
+
+
+def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels):
+    """Top-level worker so the process strategy can pickle its tasks."""
+    return _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels)
+
+
+class MatrixEngine:
+    """Compute engine for distance matrices and batched violation statistics."""
+
+    def __init__(self, strategy: str = "chunked", use_kernels: bool = True,
+                 cache: MatrixCache | None = None, chunk_size: int = 128,
+                 max_workers: int | None = None):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy '{strategy}'; options: {STRATEGIES}")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.strategy = strategy
+        self.use_kernels = use_kernels
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+
+    def __repr__(self) -> str:
+        return (f"MatrixEngine(strategy={self.strategy!r}, use_kernels={self.use_kernels}, "
+                f"chunk_size={self.chunk_size}, "
+                f"cache={'on' if self.cache is not None else 'off'})")
+
+    # ------------------------------------------------------------- matrix API
+    def pairwise(self, trajectories: Sequence, measure="dtw", **measure_kwargs) -> np.ndarray:
+        """Symmetric matrix of distances between every pair of ``trajectories``."""
+        arrays = _point_arrays(trajectories)
+        n = len(arrays)
+        key = self._cache_lookup_key(arrays, measure, measure_kwargs, "pairwise")
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        matrix = np.zeros((n, n))
+        if n >= 2:
+            rows, cols = np.triu_indices(n, k=1)
+            values = self._run(arrays, arrays, rows, cols, measure, measure_kwargs)
+            matrix[rows, cols] = values
+            matrix[cols, rows] = values
+        if key is not None:
+            self.cache.put(key, matrix)
+        return matrix
+
+    def cross(self, queries: Sequence, database: Sequence, measure="dtw",
+              **measure_kwargs) -> np.ndarray:
+        """Matrix of distances from every query to every database trajectory."""
+        query_arrays = _point_arrays(queries)
+        database_arrays = _point_arrays(database)
+        key = self._cache_lookup_key(query_arrays + database_arrays, measure,
+                                     measure_kwargs, f"cross:{len(query_arrays)}")
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        matrix = np.zeros((len(query_arrays), len(database_arrays)))
+        if matrix.size:
+            grid = np.indices(matrix.shape)
+            rows, cols = grid[0].ravel(), grid[1].ravel()
+            values = self._run(query_arrays, database_arrays, rows, cols,
+                               measure, measure_kwargs)
+            matrix[rows, cols] = values
+        if key is not None:
+            self.cache.put(key, matrix)
+        return matrix
+
+    def violation_statistics(self, matrix: np.ndarray, max_triplets: int | None = None,
+                             seed: int = 0, tolerance: float = 1e-12,
+                             vectorized: bool = True) -> dict:
+        """Triplet statistics (RV / ARVS) via the batched broadcasting path.
+
+        Independent of ``use_kernels``: that flag selects distance kernels, which
+        the triplet statistics never touch.  Pass ``vectorized=False`` to force the
+        scalar reference walk.
+        """
+        from ..violation.metrics import violation_report
+
+        return violation_report(matrix, max_triplets=max_triplets, seed=seed,
+                                tolerance=tolerance, vectorized=vectorized)
+
+    # --------------------------------------------------------------- internals
+    def _cache_lookup_key(self, arrays, measure, measure_kwargs, kind) -> str | None:
+        # Callable measures are not cached: their identity cannot be fingerprinted
+        # reliably (two different lambdas share a qualname).
+        if self.cache is None or not isinstance(measure, str):
+            return None
+        return cache_key(fingerprint_trajectories(arrays), measure, measure_kwargs, kind)
+
+    def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs) -> np.ndarray:
+        if self.strategy == "serial":
+            func = _pair_function(measure, self.use_kernels)
+            return np.array([func(arrays_a[i], arrays_b[j], **measure_kwargs)
+                             for i, j in zip(rows, cols)], dtype=np.float64)
+        # Group pairs of similar size into the same chunk: the batch kernels pad every
+        # pair in a chunk to the chunk's maximum lengths, so sorting bounds the wasted
+        # padded work regardless of how skewed the length distribution is.
+        sizes = np.fromiter((len(arrays_a[i]) * len(arrays_b[j])
+                             for i, j in zip(rows, cols)), dtype=np.int64, count=len(rows))
+        order = np.argsort(sizes, kind="stable")
+        chunks = [
+            (order[start:start + self.chunk_size],
+             [arrays_a[rows[p]] for p in order[start:start + self.chunk_size]],
+             [arrays_b[cols[p]] for p in order[start:start + self.chunk_size]])
+            for start in range(0, len(order), self.chunk_size)
+        ]
+        if self.strategy == "chunked" or len(chunks) == 1:
+            parts = [(positions, _chunk_values(list_a, list_b, measure, measure_kwargs,
+                                               self.use_kernels))
+                     for positions, list_a, list_b in chunks]
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
+                                                   measure_kwargs, self.use_kernels))
+                           for positions, list_a, list_b in chunks]
+                parts = [(positions, future.result()) for positions, future in futures]
+        values = np.zeros(len(rows))
+        for positions, part in parts:
+            values[positions] = part
+        return values
+
+
+def _point_arrays(trajectories: Sequence) -> list[np.ndarray]:
+    return [np.asarray(getattr(t, "points", t), dtype=np.float64) for t in trajectories]
+
+
+_default_engine: MatrixEngine | None = None
+
+
+def get_default_engine() -> MatrixEngine:
+    """Process-wide engine used when callers do not pass one explicitly.
+
+    The strategy can be pre-selected with the ``REPRO_ENGINE_STRATEGY`` environment
+    variable (``serial``, ``chunked`` or ``process``); it defaults to ``chunked``
+    with an in-memory matrix cache.
+    """
+    global _default_engine
+    if _default_engine is None:
+        strategy = os.environ.get(_STRATEGY_ENV, "chunked")
+        _default_engine = MatrixEngine(strategy=strategy, cache=MatrixCache(max_entries=32))
+    return _default_engine
+
+
+def set_default_engine(engine: MatrixEngine | None) -> MatrixEngine | None:
+    """Replace the process-wide default engine (None resets to lazy construction)."""
+    global _default_engine
+    _default_engine = engine
+    return engine

@@ -1,0 +1,407 @@
+"""NumPy-vectorized distance kernels (anti-diagonal wavefront DP).
+
+The reference implementations in :mod:`repro.distances` fill their dynamic-programming
+tables one cell at a time in Python.  The kernels here compute the same tables by
+sweeping anti-diagonals: every cell on diagonal ``d = i + j`` depends only on cells of
+diagonals ``d-1`` and ``d-2``, so a whole diagonal is one fancy-indexed NumPy update.
+On top of that, the batch variants stack the cost matrices of many trajectory pairs
+into one ``(batch, n, m)`` tensor and sweep all pairs simultaneously, which amortises
+the per-operation NumPy overhead across the batch — this is what the engine's
+``chunked`` and ``process`` strategies use.
+
+Every kernel performs cell-for-cell the same arithmetic as its reference
+implementation, so results agree to floating-point round-off (the parity suite
+enforces 1e-9).  Kernels are registered in :mod:`repro.distances.base` next to the
+reference functions; pairwise kernels are thin wrappers over the batch-of-one case so
+the two paths cannot drift apart.
+
+``dtw`` additionally accepts a Sakoe–Chiba ``band`` radius: cells with
+``|i - j| > band`` are never opened.  The band is widened to ``|n - m|`` when the two
+sequences differ in length by more than the requested radius, so the result is always
+finite.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..distances.base import as_points, register_kernel
+from ..distances.spatiotemporal import spatiotemporal_point_cost
+
+__all__ = [
+    "dtw_kernel",
+    "erp_kernel",
+    "edr_kernel",
+    "lcss_kernel",
+    "frechet_kernel",
+    "dita_kernel",
+    "dtw_batch",
+    "erp_batch",
+    "edr_batch",
+    "lcss_batch",
+    "frechet_batch",
+    "dita_batch",
+    "get_batch_kernel",
+    "available_batch_kernels",
+]
+
+_BATCH_KERNELS: dict[str, callable] = {}
+
+
+def _register_batch(name: str):
+    def decorator(func):
+        _BATCH_KERNELS[name.lower()] = func
+        return func
+
+    return decorator
+
+
+def get_batch_kernel(name: str):
+    """Batch kernel for ``name`` (lists of trajectories → distance vector), or None."""
+    return _BATCH_KERNELS.get(name.lower())
+
+
+def available_batch_kernels() -> list[str]:
+    """Names of every measure with a batch kernel."""
+    return sorted(_BATCH_KERNELS)
+
+
+# --------------------------------------------------------------------- helpers
+
+def _pad_points(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length point arrays into a zero-padded (batch, n, d) tensor.
+
+    Padded rows are garbage by construction but provably unused: every DP below only
+    reads cells ``(i, j)`` with ``i ≤ len(a)`` and ``j ≤ len(b)``, and forward DP cells
+    never depend on later rows/columns.
+    """
+    lengths = np.array([len(a) for a in arrays], dtype=np.intp)
+    width = arrays[0].shape[1]
+    padded = np.zeros((len(arrays), int(lengths.max()), width))
+    for index, array in enumerate(arrays):
+        padded[index, : len(array)] = array
+    return padded, lengths
+
+
+def _euclidean_cost(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(batch, n, m) tensor of point distances between padded point tensors.
+
+    Computed coordinate-by-coordinate (no (batch, n, m, d) temporary) with the same
+    left-to-right summation order as :func:`repro.distances.base.point_distance_matrix`,
+    so the costs — and therefore every DP result built on them — match the reference
+    bit for bit.
+    """
+    squared = None
+    for axis in range(a.shape[-1]):
+        delta = a[:, :, None, axis] - b[:, None, :, axis]
+        delta *= delta
+        if squared is None:
+            squared = delta
+        else:
+            squared += delta
+    return np.sqrt(squared, out=squared)
+
+
+def _anti_diagonals(n: int, m: int):
+    """Yield (i, j) index vectors covering each anti-diagonal of an (n+1, m+1) table."""
+    for d in range(2, n + m + 1):
+        i = np.arange(max(1, d - m), min(n, d - 1) + 1)
+        yield i, d - i
+
+
+@lru_cache(maxsize=512)
+def _diagonal_slices(n: int, m: int) -> tuple:
+    """Constant-stride slices addressing each anti-diagonal of the flattened tables.
+
+    A cell ``(i, j = d − i)`` of the padded ``(n+1, m+1)`` table sits at flat offset
+    ``d + i·m``, so an anti-diagonal — and each of its three DP predecessors — is a
+    plain strided slice of the flattened array.  Slices are views: the sweep never
+    materialises index arrays or gather copies.  Per diagonal the tuple holds slices
+    for (current, up, left, diagonal) in the table, the matching cost-matrix cells
+    (flat offset ``(d−m−1) + i·(m−1)``), and the ``i−1`` / ``j−1`` ranges used by
+    ERP's gap costs.
+    """
+    entries = []
+    for d in range(2, n + m + 1):
+        lo, hi = max(1, d - m), min(n, d - 1)
+        length = hi - lo + 1
+        table_step = m if length > 1 else 1
+        cost_step = (m - 1) if length > 1 else 1
+        start = d + lo * m
+        stop = d + hi * m + 1
+        current = slice(start, stop, table_step)
+        up = slice(start - (m + 1), stop - (m + 1), table_step)
+        left = slice(start - 1, stop - 1, table_step)
+        diagonal = slice(start - (m + 2), stop - (m + 2), table_step)
+        cost_cells = slice((d - m - 1) + lo * (m - 1),
+                           (d - m - 1) + hi * (m - 1) + 1, cost_step)
+        gap_a = slice(lo - 1, hi)
+        gap_b_stop = d - hi - 2
+        gap_b = slice(d - lo - 1, None if gap_b_stop < 0 else gap_b_stop, -1)
+        entries.append((current, up, left, diagonal, cost_cells, gap_a, gap_b))
+    return tuple(entries)
+
+
+def _flatten(table: np.ndarray) -> np.ndarray:
+    return table.reshape(table.shape[0], -1)
+
+
+def _gather(table: np.ndarray, batch: np.ndarray, rows: np.ndarray,
+            cols: np.ndarray) -> np.ndarray:
+    """Read one cell per batch entry from a (batch, n, m) table."""
+    return table[batch, rows, cols]
+
+
+def _spatial_batch(trajectories: Sequence) -> list[np.ndarray]:
+    return [as_points(t) for t in trajectories]
+
+
+def _spatiotemporal_batch(trajectories: Sequence, name: str) -> list[np.ndarray]:
+    arrays = [as_points(t, spatial_only=False) for t in trajectories]
+    for array in arrays:
+        if array.shape[1] < 3:
+            raise ValueError(f"{name} requires trajectories with a time column (lon, lat, t)")
+    return arrays
+
+
+def _check_batch(a: Sequence, b: Sequence) -> None:
+    if len(a) != len(b):
+        raise ValueError("batch kernels need equally long trajectory lists")
+    if len(a) == 0:
+        raise ValueError("batch kernels need at least one trajectory pair")
+
+
+# ------------------------------------------------------------------------- DTW
+
+def _dtw_single_banded(cost: np.ndarray, band: int) -> float:
+    """Wavefront DTW restricted to the Sakoe–Chiba band ``|i - j| ≤ band``."""
+    n, m = cost.shape
+    band = max(int(band), abs(n - m))
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i, j in _anti_diagonals(n, m):
+        keep = np.abs(i - j) <= band
+        if not keep.any():
+            continue
+        i, j = i[keep], j[keep]
+        best = np.minimum(table[i - 1, j], np.minimum(table[i, j - 1], table[i - 1, j - 1]))
+        table[i, j] = cost[i - 1, j - 1] + best
+    return float(table[n, m])
+
+
+@_register_batch("dtw")
+def dtw_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+              band: int | None = None) -> np.ndarray:
+    """DTW distances for a batch of trajectory pairs."""
+    _check_batch(trajectories_a, trajectories_b)
+    arrays_a = _spatial_batch(trajectories_a)
+    arrays_b = _spatial_batch(trajectories_b)
+    if band is not None:
+        # The band geometry depends on each pair's lengths, so banded DTW runs the
+        # per-pair wavefront instead of the stacked sweep.
+        return np.array([
+            _dtw_single_banded(_euclidean_cost(a[None], b[None])[0], band)
+            for a, b in zip(arrays_a, arrays_b)
+        ])
+    a, lengths_a = _pad_points(arrays_a)
+    b, lengths_b = _pad_points(arrays_b)
+    cost = _euclidean_cost(a, b)
+    batch, n, m = cost.shape
+    table = np.full((batch, n + 1, m + 1), np.inf)
+    table[:, 0, 0] = 0.0
+    flat, flat_cost = _flatten(table), _flatten(cost)
+    for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
+        best = np.minimum(flat[:, up], flat[:, left])
+        np.minimum(best, flat[:, diagonal], out=best)
+        best += flat_cost[:, cost_cells]
+        flat[:, current] = best
+    return _gather(table, np.arange(batch), lengths_a, lengths_b)
+
+
+@register_kernel("dtw")
+def dtw_kernel(trajectory_a, trajectory_b, band: int | None = None) -> float:
+    """Vectorized (optionally banded) DTW distance between two trajectories."""
+    return float(dtw_batch([trajectory_a], [trajectory_b], band=band)[0])
+
+
+# ------------------------------------------------------------------------- ERP
+
+@_register_batch("erp")
+def erp_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+              gap=None) -> np.ndarray:
+    """ERP distances for a batch of trajectory pairs."""
+    _check_batch(trajectories_a, trajectories_b)
+    gap_point = np.zeros(2) if gap is None else np.asarray(gap, dtype=np.float64)[:2]
+    a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
+    b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
+    gap_cost_a = np.sqrt(((a - gap_point) ** 2).sum(axis=-1))
+    gap_cost_b = np.sqrt(((b - gap_point) ** 2).sum(axis=-1))
+    cost = _euclidean_cost(a, b)
+    batch, n, m = cost.shape
+    table = np.zeros((batch, n + 1, m + 1))
+    table[:, 1:, 0] = np.cumsum(gap_cost_a, axis=1)
+    table[:, 0, 1:] = np.cumsum(gap_cost_b, axis=1)
+    flat, flat_cost = _flatten(table), _flatten(cost)
+    for current, up, left, diagonal, cost_cells, gap_a, gap_b in _diagonal_slices(n, m):
+        substitution = flat[:, diagonal] + flat_cost[:, cost_cells]
+        delete_a = flat[:, up] + gap_cost_a[:, gap_a]
+        delete_b = flat[:, left] + gap_cost_b[:, gap_b]
+        np.minimum(delete_a, delete_b, out=delete_a)
+        np.minimum(substitution, delete_a, out=substitution)
+        flat[:, current] = substitution
+    return _gather(table, np.arange(batch), lengths_a, lengths_b)
+
+
+@register_kernel("erp")
+def erp_kernel(trajectory_a, trajectory_b, gap=None) -> float:
+    """Vectorized ERP distance with reference (gap) point ``gap``."""
+    return float(erp_batch([trajectory_a], [trajectory_b], gap=gap)[0])
+
+
+# ------------------------------------------------------------------- EDR, LCSS
+
+def _match_tensor(a: np.ndarray, b: np.ndarray, epsilon: float) -> np.ndarray:
+    """(batch, n, m) mask of points matching within ``epsilon`` on every coordinate."""
+    match = None
+    for axis in range(a.shape[-1]):
+        delta = a[:, :, None, axis] - b[:, None, :, axis]
+        np.abs(delta, out=delta)
+        close = delta <= epsilon
+        if match is None:
+            match = close
+        else:
+            match &= close
+    return match
+
+
+@_register_batch("edr")
+def edr_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+              epsilon: float = 0.25) -> np.ndarray:
+    """EDR distances for a batch of trajectory pairs."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    _check_batch(trajectories_a, trajectories_b)
+    a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
+    b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
+    match = _match_tensor(a, b, epsilon)
+    batch, n, m = match.shape
+    table = np.zeros((batch, n + 1, m + 1))
+    table[:, :, 0] = np.arange(n + 1)
+    table[:, 0, :] = np.arange(m + 1)
+    flat, flat_match = _flatten(table), _flatten(match)
+    for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
+        substitution = flat[:, diagonal] + np.where(flat_match[:, cost_cells], 0.0, 1.0)
+        gap = np.minimum(flat[:, up], flat[:, left])
+        gap += 1.0
+        np.minimum(substitution, gap, out=substitution)
+        flat[:, current] = substitution
+    return _gather(table, np.arange(batch), lengths_a, lengths_b)
+
+
+@register_kernel("edr")
+def edr_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+    """Vectorized EDR distance with matching threshold ``epsilon``."""
+    return float(edr_batch([trajectory_a], [trajectory_b], epsilon=epsilon)[0])
+
+
+@_register_batch("lcss")
+def lcss_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+               epsilon: float = 0.25) -> np.ndarray:
+    """LCSS distances (``1 − LCSS/min(n, m)``) for a batch of trajectory pairs."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    _check_batch(trajectories_a, trajectories_b)
+    arrays_a = _spatial_batch(trajectories_a)
+    arrays_b = _spatial_batch(trajectories_b)
+    a, lengths_a = _pad_points(arrays_a)
+    b, lengths_b = _pad_points(arrays_b)
+    match = _match_tensor(a, b, epsilon)
+    batch, n, m = match.shape
+    table = np.zeros((batch, n + 1, m + 1), dtype=np.int64)
+    flat, flat_match = _flatten(table), _flatten(match)
+    for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
+        flat[:, current] = np.where(
+            flat_match[:, cost_cells],
+            flat[:, diagonal] + 1,
+            np.maximum(flat[:, up], flat[:, left]),
+        )
+    common = _gather(table, np.arange(batch), lengths_a, lengths_b)
+    shorter = np.minimum(lengths_a, lengths_b)
+    return 1.0 - common / shorter
+
+
+@register_kernel("lcss")
+def lcss_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+    """Vectorized LCSS distance in ``[0, 1]``."""
+    return float(lcss_batch([trajectory_a], [trajectory_b], epsilon=epsilon)[0])
+
+
+# --------------------------------------------------------------------- Fréchet
+
+@_register_batch("frechet")
+def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence) -> np.ndarray:
+    """Discrete Fréchet distances for a batch of trajectory pairs.
+
+    Uses the padded-table formulation: with an ``inf`` border and a single zero
+    sentinel at ``(0, 0)``, the recurrence ``max(min(up, left, diag), cost)``
+    reproduces the reference's explicit first-row/column cumulative maxima.
+    """
+    _check_batch(trajectories_a, trajectories_b)
+    a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
+    b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
+    cost = _euclidean_cost(a, b)
+    batch, n, m = cost.shape
+    table = np.full((batch, n + 1, m + 1), np.inf)
+    table[:, 0, 0] = 0.0
+    flat, flat_cost = _flatten(table), _flatten(cost)
+    for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
+        reachable = np.minimum(flat[:, up], flat[:, left])
+        np.minimum(reachable, flat[:, diagonal], out=reachable)
+        np.maximum(reachable, flat_cost[:, cost_cells], out=reachable)
+        flat[:, current] = reachable
+    return _gather(table, np.arange(batch), lengths_a, lengths_b)
+
+
+@register_kernel("frechet")
+def frechet_kernel(trajectory_a, trajectory_b) -> float:
+    """Vectorized discrete Fréchet distance."""
+    return float(frechet_batch([trajectory_a], [trajectory_b])[0])
+
+
+# ------------------------------------------------------------------------ DITA
+
+@_register_batch("dita")
+def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+               lambda_spatial: float = 0.5, time_scale: float = 1.0) -> np.ndarray:
+    """DITA spatio-temporal distances for a batch of trajectory pairs."""
+    _check_batch(trajectories_a, trajectories_b)
+    arrays_a = _spatiotemporal_batch(trajectories_a, "dita_distance")
+    arrays_b = _spatiotemporal_batch(trajectories_b, "dita_distance")
+    a, lengths_a = _pad_points(arrays_a)
+    b, lengths_b = _pad_points(arrays_b)
+    batch = len(arrays_a)
+    cost = np.stack([
+        spatiotemporal_point_cost(a[index], b[index], lambda_spatial, time_scale)
+        for index in range(batch)
+    ])
+    _, n, m = cost.shape
+    table = np.full((batch, n + 1, m + 1), np.inf)
+    table[:, 0, 0] = 0.0
+    flat, flat_cost = _flatten(table), _flatten(cost)
+    for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
+        best = np.minimum(flat[:, up], flat[:, left])
+        np.minimum(best, flat[:, diagonal], out=best)
+        best += flat_cost[:, cost_cells]
+        flat[:, current] = best
+    return _gather(table, np.arange(batch), lengths_a, lengths_b)
+
+
+@register_kernel("dita")
+def dita_kernel(trajectory_a, trajectory_b, lambda_spatial: float = 0.5,
+                time_scale: float = 1.0) -> float:
+    """Vectorized DITA spatio-temporal distance."""
+    return float(dita_batch([trajectory_a], [trajectory_b],
+                            lambda_spatial=lambda_spatial, time_scale=time_scale)[0])

@@ -11,11 +11,13 @@ from .efficiency import (
     time_callable,
     database_memory_bytes,
     retrieval_latency,
+    matrix_build_latency,
     EfficiencyResult,
 )
 
 __all__ = [
     "hit_rate", "per_query_hit_rate", "ndcg", "evaluate_retrieval",
     "euclidean_distance_matrix",
-    "time_callable", "database_memory_bytes", "retrieval_latency", "EfficiencyResult",
+    "time_callable", "database_memory_bytes", "retrieval_latency",
+    "matrix_build_latency", "EfficiencyResult",
 ]

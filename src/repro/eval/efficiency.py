@@ -21,6 +21,7 @@ __all__ = [
     "time_callable",
     "database_memory_bytes",
     "retrieval_latency",
+    "matrix_build_latency",
     "EfficiencyResult",
 ]
 
@@ -52,6 +53,34 @@ def database_memory_bytes(database: dict | np.ndarray) -> int:
         elif isinstance(value, tuple):
             total += sum(item.nbytes for item in value if isinstance(item, np.ndarray))
     return int(total)
+
+
+def matrix_build_latency(trajectories, measure: str = "dtw", engine=None,
+                         repeats: int = 3, **measure_kwargs) -> EfficiencyResult:
+    """Wall-clock cost of building the pairwise ground-truth matrix with an engine.
+
+    This is the offline counterpart of :func:`retrieval_latency`: the dominant
+    pre-processing cost of every experiment is the O(n²) ground-truth matrix, and
+    this probe is how the engine micro-benchmarks compare execution strategies.
+    Caching is bypassed (each run recomputes) so the measurement reflects compute,
+    not cache hits.
+    """
+    from ..engine import MatrixEngine
+
+    engine = engine or MatrixEngine()
+    probe = MatrixEngine(strategy=engine.strategy, use_kernels=engine.use_kernels,
+                         cache=None, chunk_size=engine.chunk_size,
+                         max_workers=engine.max_workers)
+    latency = time_callable(
+        lambda: probe.pairwise(trajectories, measure, **measure_kwargs),
+        repeats=repeats)
+    return EfficiencyResult(
+        latency_seconds=latency,
+        num_trajectories=len(trajectories),
+        measure=measure,
+        strategy=probe.strategy,
+        use_kernels=probe.use_kernels,
+    )
 
 
 def _brute_force_topk_euclidean(queries: np.ndarray, database: np.ndarray, k: int) -> np.ndarray:

@@ -16,6 +16,7 @@ import numpy as np
 from ..core import LHPlugin, LHPluginConfig
 from ..data import TrajectoryDataset, generate_dataset
 from ..distances import normalize_matrix, pairwise_distance_matrix
+from ..engine import MatrixEngine, get_default_engine
 from ..eval import evaluate_retrieval
 from ..models import get_model
 from ..training import SimilarityTrainer
@@ -53,6 +54,10 @@ class ExperimentSettings:
     hr_ks: tuple[int, ...] = (5, 10, 50)
     ndcg_ks: tuple[int, ...] = (10, 50)
     plugin: LHPluginConfig = field(default_factory=LHPluginConfig)
+    #: Execution strategy for ground-truth matrix construction; None uses the
+    #: process-wide default engine (strategy "chunked" with an in-memory cache).
+    engine_strategy: str | None = None
+    use_vectorized_kernels: bool = True
 
     def measure_kwargs(self) -> dict:
         return dict(_MEASURE_KWARGS.get(self.measure, {}))
@@ -60,8 +65,21 @@ class ExperimentSettings:
     def needs_time(self) -> bool:
         return self.measure in _SPATIOTEMPORAL_MEASURES or self.model in ("st2vec", "tedj")
 
+    def make_engine(self) -> MatrixEngine:
+        """Engine instance implied by the settings (default engine when unset)."""
+        if self.engine_strategy is None and self.use_vectorized_kernels:
+            return get_default_engine()
+        # Share the default engine's cache so explicitly choosing a strategy does
+        # not silently forfeit cache hits — except when kernels are disabled, where
+        # a kernel-computed cache entry would defeat the point of the reference run.
+        cache = get_default_engine().cache if self.use_vectorized_kernels else None
+        return MatrixEngine(strategy=self.engine_strategy or "chunked",
+                            use_kernels=self.use_vectorized_kernels, cache=cache)
 
-def prepare_experiment(settings: ExperimentSettings) -> tuple[TrajectoryDataset, np.ndarray]:
+
+def prepare_experiment(settings: ExperimentSettings,
+                       engine: MatrixEngine | None = None
+                       ) -> tuple[TrajectoryDataset, np.ndarray]:
     """Generate the dataset and its normalised ground-truth distance matrix."""
     with_time = True if settings.needs_time() else None
     dataset = generate_dataset(settings.preset, size=settings.dataset_size,
@@ -69,6 +87,7 @@ def prepare_experiment(settings: ExperimentSettings) -> tuple[TrajectoryDataset,
     spatial_only = settings.measure not in _SPATIOTEMPORAL_MEASURES
     trajectories = dataset.point_arrays(spatial_only=spatial_only)
     matrix = pairwise_distance_matrix(trajectories, settings.measure,
+                                      engine=engine or settings.make_engine(),
                                       **settings.measure_kwargs())
     return dataset, normalize_matrix(matrix, method="mean")
 

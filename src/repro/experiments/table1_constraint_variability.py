@@ -11,8 +11,8 @@ Geolife analogues) violate most.
 from __future__ import annotations
 
 from ..data import generate_dataset
-from ..distances import normalize_matrix, pairwise_distance_matrix
-from ..violation import violation_report
+from ..distances import normalize_matrix
+from ..engine import MatrixEngine, get_default_engine
 from .reporting import format_float, format_percent, format_table
 
 __all__ = ["run", "format_result"]
@@ -23,19 +23,21 @@ _MEASURE_KWARGS = {"edr": {"epsilon": 0.25}}
 
 
 def run(presets=DEFAULT_PRESETS, measures=DEFAULT_MEASURES, dataset_size: int = 40,
-        max_triplets: int = 4000, seed: int = 0) -> dict:
+        max_triplets: int = 4000, seed: int = 0,
+        engine: MatrixEngine | None = None) -> dict:
     """Compute RV / ARVS for every (preset, measure) combination."""
+    engine = engine or get_default_engine()
     results: dict[str, dict[str, dict]] = {}
     for preset in presets:
         dataset = generate_dataset(preset, size=dataset_size, seed=seed)
         trajectories = dataset.point_arrays(spatial_only=True)
         results[preset] = {}
         for measure in measures:
-            matrix = pairwise_distance_matrix(trajectories, measure,
-                                              **_MEASURE_KWARGS.get(measure, {}))
+            matrix = engine.pairwise(trajectories, measure,
+                                     **_MEASURE_KWARGS.get(measure, {}))
             matrix = normalize_matrix(matrix, method="mean")
-            results[preset][measure] = violation_report(matrix, max_triplets=max_triplets,
-                                                        seed=seed)
+            results[preset][measure] = engine.violation_statistics(
+                matrix, max_triplets=max_triplets, seed=seed)
     return {
         "presets": list(presets),
         "measures": list(measures),

@@ -8,10 +8,14 @@ from .metrics import (
     sim_slack,
     triangle_violation_flag,
     relative_violation_scale,
+    batched_sim_slack,
+    batched_violation_flags,
+    batched_relative_violation_scale,
     ratio_of_violation,
     average_relative_violation,
     violation_report,
     iter_triplets,
+    triplet_array,
 )
 from .sampler import (
     sample_violating_triplets,
@@ -21,8 +25,9 @@ from .sampler import (
 
 __all__ = [
     "sim_slack", "triangle_violation_flag", "relative_violation_scale",
+    "batched_sim_slack", "batched_violation_flags", "batched_relative_violation_scale",
     "ratio_of_violation", "average_relative_violation", "violation_report",
-    "iter_triplets",
+    "iter_triplets", "triplet_array",
     "sample_violating_triplets", "per_trajectory_violation_score",
     "stratify_queries_by_violation",
 ]

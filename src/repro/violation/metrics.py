@@ -11,12 +11,20 @@ quantifies this with:
 * the **Relative Violation Scale** ``RVS`` — the positive slack of the longest side
   normalised by the sum of the two shorter sides through the opposite vertex;
 * the **Average Relative Violation** ``ARVS`` — mean RVS over violating triplets.
+
+Two execution paths coexist.  The scalar functions (``sim_slack``,
+``triangle_violation_flag``, ``relative_violation_scale``) are the per-triplet
+reference; the ``batched_*`` functions evaluate whole ``(m, 3)`` index arrays with
+broadcasting and back the default ``vectorized=True`` mode of the aggregate
+statistics.  Both paths walk the same triplet sequence for a given seed, and the
+engine parity suite pins them together to 1e-9.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Iterable, Sequence
+import math
+from itertools import chain, combinations, islice
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -24,11 +32,23 @@ __all__ = [
     "sim_slack",
     "triangle_violation_flag",
     "relative_violation_scale",
+    "batched_sim_slack",
+    "batched_violation_flags",
+    "batched_relative_violation_scale",
     "ratio_of_violation",
     "average_relative_violation",
     "violation_report",
     "iter_triplets",
+    "triplet_array",
 ]
+
+#: Above this population size, ``rng.choice(total, replace=False)`` (which permutes
+#: the whole population) would dominate memory; rank rejection-sampling takes over.
+_DENSE_SAMPLING_LIMIT = 1 << 24
+
+#: Exhaustive statistics stream triplets in blocks of this many rows, so the
+#: vectorized aggregates stay O(block) in memory even when ``C(n, 3)`` is huge.
+_EXHAUSTIVE_BLOCK = 1 << 20
 
 
 def _check_matrix(matrix: np.ndarray) -> np.ndarray:
@@ -38,30 +58,104 @@ def _check_matrix(matrix: np.ndarray) -> np.ndarray:
     return matrix
 
 
+# ------------------------------------------------------------ triplet sampling
+
+def _sample_ranks(total: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """``size`` distinct integers from ``range(total)``, deterministic per rng state."""
+    if total <= _DENSE_SAMPLING_LIMIT or size * 8 >= total:
+        return rng.choice(total, size=size, replace=False)
+    # Sparse regime: draws rarely collide, so rejection on ranks converges in a
+    # couple of rounds without materialising the population.
+    chosen: set[int] = set()
+    picked: list[int] = []
+    while len(picked) < size:
+        for rank in rng.integers(total, size=size - len(picked)).tolist():
+            if rank not in chosen:
+                chosen.add(rank)
+                picked.append(rank)
+    return np.array(picked, dtype=np.int64)
+
+
+def _unrank_triplets(ranks: np.ndarray, count: int) -> np.ndarray:
+    """Map combination ranks to ``i < j < k`` index triplets (vectorized).
+
+    Uses the combinatorial number system: every rank has a unique decomposition
+    ``rank = C(k, 3) + C(j, 2) + C(i, 1)`` with ``i < j < k``, recovered per digit
+    with a searchsorted over the precomputed binomial tables.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    candidates = np.arange(count, dtype=np.int64)
+    choose3 = candidates * (candidates - 1) * (candidates - 2) // 6
+    choose2 = candidates * (candidates - 1) // 2
+    k = np.searchsorted(choose3, ranks, side="right") - 1
+    remainder = ranks - choose3[k]
+    j = np.searchsorted(choose2, remainder, side="right") - 1
+    i = remainder - choose2[j]
+    return np.stack([i, j, k], axis=1).astype(np.intp)
+
+
+def triplet_array(count: int, max_triplets: int | None = None,
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """``(m, 3)`` array of index triplets, exhaustive or sampled without replacement.
+
+    When ``max_triplets`` is smaller than ``C(count, 3)``, triplet *ranks* are drawn
+    without replacement and unranked, so the sample stays uniform and loop-free even
+    when ``max_triplets`` approaches the total (no coupon-collector stalls).  Rows
+    always satisfy ``i < j < k``; the exhaustive enumeration is lexicographic.
+    """
+    if count < 3:
+        return np.empty((0, 3), dtype=np.intp)
+    total = math.comb(count, 3)
+    if max_triplets is None or max_triplets >= total:
+        flat = np.fromiter(chain.from_iterable(combinations(range(count), 3)),
+                           dtype=np.intp, count=3 * total)
+        return flat.reshape(-1, 3)
+    if max_triplets <= 0:
+        return np.empty((0, 3), dtype=np.intp)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return _unrank_triplets(_sample_ranks(total, max_triplets, rng), count)
+
+
+def _triplet_blocks(count: int, max_triplets: int | None,
+                    rng: np.random.Generator | None) -> Iterator[np.ndarray]:
+    """Yield ``(block, 3)`` triplet arrays covering the same sequence as
+    :func:`triplet_array`, without materialising the exhaustive enumeration."""
+    if count < 3:
+        return
+    total = math.comb(count, 3)
+    if max_triplets is None or max_triplets >= total:
+        iterator = combinations(range(count), 3)
+        while True:
+            flat = np.fromiter(
+                chain.from_iterable(islice(iterator, _EXHAUSTIVE_BLOCK)), dtype=np.intp)
+            if not flat.size:
+                return
+            yield flat.reshape(-1, 3)
+        return
+    sampled = triplet_array(count, max_triplets, rng)
+    if len(sampled):
+        yield sampled
+
+
 def iter_triplets(count: int, max_triplets: int | None = None,
                   rng: np.random.Generator | None = None) -> Iterable[tuple[int, int, int]]:
     """Yield index triplets, either exhaustively or as a random sample.
 
-    When ``max_triplets`` is given and smaller than ``C(count, 3)``, triplets are
-    sampled uniformly at random without replacement semantics being required (the
-    statistics are ratio estimates, so independent draws suffice).
+    The exhaustive path streams ``itertools.combinations`` lazily; the sampled path
+    delegates to :func:`triplet_array`, so both the scalar and batched statistics
+    visit exactly the same triplets for a given seed.
     """
     if count < 3:
         return
-    total = count * (count - 1) * (count - 2) // 6
+    total = math.comb(count, 3)
     if max_triplets is None or max_triplets >= total:
         yield from combinations(range(count), 3)
         return
-    rng = rng if rng is not None else np.random.default_rng(0)
-    seen: set[tuple[int, int, int]] = set()
-    while len(seen) < max_triplets:
-        i, j, k = sorted(rng.choice(count, size=3, replace=False).tolist())
-        triplet = (int(i), int(j), int(k))
-        if triplet in seen:
-            continue
-        seen.add(triplet)
-        yield triplet
+    for i, j, k in triplet_array(count, max_triplets, rng):
+        yield int(i), int(j), int(k)
 
+
+# ------------------------------------------------------------- scalar reference
 
 def sim_slack(matrix: np.ndarray, i: int, j: int, k: int) -> float:
     """``Sim[k|i, j]``: how much the side (i, j) exceeds the path through ``k``."""
@@ -108,11 +202,70 @@ def relative_violation_scale(matrix: np.ndarray, i: int, j: int, k: int) -> floa
     return float(numerator / denominator)
 
 
+# --------------------------------------------------------------- batched path
+
+def _triplet_sides(matrix: np.ndarray, triplets: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    triplets = np.asarray(triplets, dtype=np.intp).reshape(-1, 3)
+    i, j, k = triplets[:, 0], triplets[:, 1], triplets[:, 2]
+    return matrix[i, j], matrix[i, k], matrix[j, k]
+
+
+def batched_sim_slack(matrix: np.ndarray, triplets: np.ndarray) -> np.ndarray:
+    """``Sim[k|i, j]`` for every row of an ``(m, 3)`` triplet array."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    d_ij, d_ik, d_jk = _triplet_sides(matrix, triplets)
+    return d_ij - d_ik - d_jk
+
+
+def batched_violation_flags(matrix: np.ndarray, triplets: np.ndarray,
+                            tolerance: float = 1e-12) -> np.ndarray:
+    """Boolean TVF for every row of an ``(m, 3)`` triplet array."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    d_ij, d_ik, d_jk = _triplet_sides(matrix, triplets)
+    slack = np.maximum(d_ij - d_ik - d_jk, d_ik - d_ij - d_jk)
+    np.maximum(slack, d_jk - d_ij - d_ik, out=slack)
+    return slack > tolerance
+
+
+def batched_relative_violation_scale(matrix: np.ndarray,
+                                     triplets: np.ndarray) -> np.ndarray:
+    """RVS for every row of an ``(m, 3)`` triplet array.
+
+    Ties between sides resolve to the first of (ij, ik, jk) exactly as the scalar
+    reference's ``max`` over the side dict does (the tied cases are numerically
+    identical either way).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    d_ij, d_ik, d_jk = _triplet_sides(matrix, triplets)
+    sides = np.stack([d_ij, d_ik, d_jk])
+    numerators = np.stack([d_ij - d_ik - d_jk, d_ik - d_ij - d_jk, d_jk - d_ij - d_ik])
+    denominators = np.stack([d_ik + d_jk, d_ij + d_jk, d_ij + d_ik])
+    largest = np.argmax(sides, axis=0)
+    columns = np.arange(sides.shape[1])
+    numerator = numerators[largest, columns]
+    denominator = denominators[largest, columns]
+    positive = denominator > 0.0
+    return np.where(positive, numerator / np.where(positive, denominator, 1.0), 0.0)
+
+
+# ------------------------------------------------------- aggregate statistics
+
 def ratio_of_violation(matrix: np.ndarray, max_triplets: int | None = None,
-                       seed: int = 0, tolerance: float = 1e-12) -> float:
+                       seed: int = 0, tolerance: float = 1e-12,
+                       vectorized: bool = True) -> float:
     """RV: fraction of (sampled) triplets that violate the triangle inequality."""
     matrix = _check_matrix(matrix)
     rng = np.random.default_rng(seed)
+    if vectorized:
+        total = 0
+        violations = 0
+        for triplets in _triplet_blocks(len(matrix), max_triplets, rng):
+            total += len(triplets)
+            violations += int(batched_violation_flags(matrix, triplets, tolerance).sum())
+        if total == 0:
+            return 0.0
+        return violations / total
     total = 0
     violations = 0
     for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
@@ -124,10 +277,24 @@ def ratio_of_violation(matrix: np.ndarray, max_triplets: int | None = None,
 
 
 def average_relative_violation(matrix: np.ndarray, max_triplets: int | None = None,
-                               seed: int = 0, tolerance: float = 1e-12) -> float:
+                               seed: int = 0, tolerance: float = 1e-12,
+                               vectorized: bool = True) -> float:
     """ARVS: mean relative violation over the violating (sampled) triplets."""
     matrix = _check_matrix(matrix)
     rng = np.random.default_rng(seed)
+    if vectorized:
+        scale_sum = 0.0
+        violating = 0
+        for triplets in _triplet_blocks(len(matrix), max_triplets, rng):
+            flags = batched_violation_flags(matrix, triplets, tolerance)
+            if not flags.any():
+                continue
+            violating += int(flags.sum())
+            scale_sum += float(
+                batched_relative_violation_scale(matrix, triplets[flags]).sum())
+        if violating == 0:
+            return 0.0
+        return scale_sum / violating
     scales = []
     for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
         if triangle_violation_flag(matrix, i, j, k, tolerance):
@@ -138,18 +305,32 @@ def average_relative_violation(matrix: np.ndarray, max_triplets: int | None = No
 
 
 def violation_report(matrix: np.ndarray, max_triplets: int | None = None,
-                     seed: int = 0, tolerance: float = 1e-12) -> dict:
+                     seed: int = 0, tolerance: float = 1e-12,
+                     vectorized: bool = True) -> dict:
     """RV and ARVS computed in a single pass (used by the Table I benchmark)."""
     matrix = _check_matrix(matrix)
     rng = np.random.default_rng(seed)
-    total = 0
-    violating = 0
-    scale_sum = 0.0
-    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
-        total += 1
-        if triangle_violation_flag(matrix, i, j, k, tolerance):
-            violating += 1
-            scale_sum += relative_violation_scale(matrix, i, j, k)
+    if vectorized:
+        total = 0
+        violating = 0
+        scale_sum = 0.0
+        for triplets in _triplet_blocks(len(matrix), max_triplets, rng):
+            total += len(triplets)
+            flags = batched_violation_flags(matrix, triplets, tolerance)
+            block_violating = int(flags.sum())
+            if block_violating:
+                violating += block_violating
+                scale_sum += float(
+                    batched_relative_violation_scale(matrix, triplets[flags]).sum())
+    else:
+        total = 0
+        violating = 0
+        scale_sum = 0.0
+        for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
+            total += 1
+            if triangle_violation_flag(matrix, i, j, k, tolerance):
+                violating += 1
+                scale_sum += relative_violation_scale(matrix, i, j, k)
     ratio = violating / total if total else 0.0
     average = scale_sum / violating if violating else 0.0
     return {

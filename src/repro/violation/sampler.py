@@ -14,9 +14,9 @@ from __future__ import annotations
 import numpy as np
 
 from .metrics import (
-    iter_triplets,
-    relative_violation_scale,
-    triangle_violation_flag,
+    batched_relative_violation_scale,
+    batched_violation_flags,
+    triplet_array,
 )
 
 __all__ = [
@@ -36,13 +36,14 @@ def sample_violating_triplets(matrix: np.ndarray, max_triplets: int = 10000,
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     rng = np.random.default_rng(seed)
-    found: list[tuple[int, int, int]] = []
-    for triplet in iter_triplets(len(matrix), max_triplets, rng):
-        if triangle_violation_flag(matrix, *triplet, tolerance=tolerance):
-            found.append(triplet)
-            if limit is not None and len(found) >= limit:
-                break
-    return found
+    triplets = triplet_array(len(matrix), max_triplets, rng)
+    if len(triplets) == 0:
+        return []
+    flags = batched_violation_flags(matrix, triplets, tolerance=tolerance)
+    violating = triplets[flags]
+    if limit is not None:
+        violating = violating[:limit]
+    return [tuple(int(index) for index in row) for row in violating]
 
 
 def per_trajectory_violation_score(matrix: np.ndarray, max_triplets: int = 20000,
@@ -56,13 +57,14 @@ def per_trajectory_violation_score(matrix: np.ndarray, max_triplets: int = 20000
     rng = np.random.default_rng(seed)
     totals = np.zeros(len(matrix))
     counts = np.zeros(len(matrix))
-    for i, j, k in iter_triplets(len(matrix), max_triplets, rng):
-        if not triangle_violation_flag(matrix, i, j, k):
-            continue
-        scale = relative_violation_scale(matrix, i, j, k)
-        for index in (i, j, k):
-            totals[index] += scale
-            counts[index] += 1
+    triplets = triplet_array(len(matrix), max_triplets, rng)
+    if len(triplets):
+        flags = batched_violation_flags(matrix, triplets)
+        violating = triplets[flags]
+        scales = batched_relative_violation_scale(matrix, violating)
+        members = violating.ravel()
+        np.add.at(totals, members, np.repeat(scales, 3))
+        np.add.at(counts, members, 1.0)
     scores = np.zeros(len(matrix))
     mask = counts > 0
     scores[mask] = totals[mask] / counts[mask]

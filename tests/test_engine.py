@@ -1,0 +1,214 @@
+"""Unit tests for the compute engine: strategies, cache, sampling and kNN guards."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.engine.executor as executor_module
+from repro import distances as D
+from repro.engine import (
+    MatrixCache,
+    MatrixEngine,
+    cache_key,
+    fingerprint_trajectories,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.eval import matrix_build_latency
+from repro.violation import iter_triplets, triplet_array, violation_report
+
+
+@pytest.fixture
+def trajectories():
+    rng = np.random.default_rng(0)
+    return [rng.random((int(rng.integers(2, 12)), 2)) for _ in range(8)]
+
+
+class TestEngineConfiguration:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            MatrixEngine(strategy="gpu")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            MatrixEngine(chunk_size=0)
+
+    def test_repr_mentions_strategy(self):
+        assert "chunked" in repr(MatrixEngine(strategy="chunked"))
+
+    def test_default_engine_is_singleton(self):
+        set_default_engine(None)
+        first = get_default_engine()
+        assert get_default_engine() is first
+        replacement = MatrixEngine(strategy="serial")
+        assert set_default_engine(replacement) is replacement
+        assert get_default_engine() is replacement
+        set_default_engine(None)
+
+    def test_default_strategy_env_override(self, monkeypatch):
+        monkeypatch.setenv(executor_module._STRATEGY_ENV, "serial")
+        set_default_engine(None)
+        try:
+            assert get_default_engine().strategy == "serial"
+        finally:
+            set_default_engine(None)
+
+
+class TestExperimentSettingsEngine:
+    def test_explicit_strategy_shares_default_cache(self):
+        from repro.experiments.runner import ExperimentSettings
+
+        set_default_engine(None)
+        explicit = ExperimentSettings(engine_strategy="chunked").make_engine()
+        assert explicit.cache is get_default_engine().cache
+        assert explicit.strategy == "chunked"
+
+    def test_reference_configuration_is_uncached(self):
+        from repro.experiments.runner import ExperimentSettings
+
+        engine = ExperimentSettings(use_vectorized_kernels=False).make_engine()
+        assert engine.cache is None
+        assert engine.use_kernels is False
+
+
+class TestEngineExecution:
+    def test_small_and_empty_inputs(self):
+        engine = MatrixEngine()
+        assert engine.pairwise([], "dtw").shape == (0, 0)
+        single = engine.pairwise([np.zeros((3, 2))], "dtw")
+        assert single.shape == (1, 1) and single[0, 0] == 0.0
+
+    def test_matrix_is_symmetric_with_zero_diagonal(self, trajectories):
+        matrix = MatrixEngine(chunk_size=5).pairwise(trajectories, "dtw")
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+
+    def test_callable_measure(self, trajectories):
+        matrix = MatrixEngine().pairwise(trajectories, D.hausdorff_distance)
+        expected = MatrixEngine(strategy="serial", use_kernels=False).pairwise(
+            trajectories, "hausdorff")
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_process_strategy_multiple_chunks(self, trajectories):
+        engine = MatrixEngine(strategy="process", chunk_size=4, max_workers=2)
+        expected = MatrixEngine(strategy="serial", use_kernels=False).pairwise(
+            trajectories, "dtw")
+        np.testing.assert_allclose(engine.pairwise(trajectories, "dtw"), expected,
+                                   atol=1e-9)
+
+    def test_violation_statistics_delegates(self, trajectories):
+        matrix = MatrixEngine().pairwise(trajectories, "dtw")
+        stats = MatrixEngine().violation_statistics(matrix, max_triplets=50, seed=1)
+        assert stats == violation_report(matrix, max_triplets=50, seed=1)
+
+
+class TestMatrixCache:
+    def test_fingerprint_sensitivity(self, trajectories):
+        base = fingerprint_trajectories(trajectories)
+        assert base == fingerprint_trajectories([t.copy() for t in trajectories])
+        perturbed = [t.copy() for t in trajectories]
+        perturbed[0][0, 0] += 1e-9
+        assert base != fingerprint_trajectories(perturbed)
+
+    def test_cache_key_depends_on_measure_and_kwargs(self):
+        fp = "abc"
+        assert cache_key(fp, "dtw", {}) != cache_key(fp, "edr", {})
+        assert cache_key(fp, "edr", {"epsilon": 0.1}) != cache_key(fp, "edr", {"epsilon": 0.2})
+        assert cache_key(fp, "dtw", {}) != cache_key(fp, "dtw", {}, kind="cross:3")
+
+    def test_engine_cache_hit(self, trajectories):
+        engine = MatrixEngine(cache=MatrixCache())
+        first = engine.pairwise(trajectories, "dtw")
+        assert engine.cache.misses == 1
+        second = engine.pairwise(trajectories, "dtw")
+        assert engine.cache.hits == 1
+        np.testing.assert_allclose(first, second)
+        second[0, 1] = -1.0  # cached copies must be isolated from caller mutation
+        np.testing.assert_allclose(engine.pairwise(trajectories, "dtw"), first)
+
+    def test_disk_persistence(self, tmp_path, trajectories):
+        first_cache = MatrixCache(directory=tmp_path)
+        engine = MatrixEngine(cache=first_cache)
+        matrix = engine.pairwise(trajectories, "dtw")
+        fresh = MatrixEngine(cache=MatrixCache(directory=tmp_path))
+        np.testing.assert_allclose(fresh.pairwise(trajectories, "dtw"), matrix)
+        assert fresh.cache.hits == 1
+
+    def test_lru_eviction(self):
+        cache = MatrixCache(max_entries=2)
+        for index in range(3):
+            cache.put(str(index), np.full((1, 1), float(index)))
+        assert cache.get("0") is None
+        assert cache.get("2") is not None
+
+    def test_callable_measures_not_cached(self, trajectories):
+        engine = MatrixEngine(cache=MatrixCache())
+        engine.pairwise(trajectories, D.hausdorff_distance)
+        assert len(engine.cache) == 0
+
+
+class TestTripletSampling:
+    def test_near_exhaustive_sample_is_fast_and_unique(self):
+        count = 12
+        total = math.comb(count, 3)
+        triplets = triplet_array(count, total - 1, np.random.default_rng(0))
+        assert len(triplets) == total - 1
+        assert len({tuple(row) for row in triplets.tolist()}) == total - 1
+
+    def test_sample_rows_are_sorted(self):
+        triplets = triplet_array(30, 200, np.random.default_rng(1))
+        assert np.all(triplets[:, 0] < triplets[:, 1])
+        assert np.all(triplets[:, 1] < triplets[:, 2])
+
+    def test_exhaustive_matches_combinations(self):
+        from itertools import combinations
+
+        triplets = triplet_array(7)
+        assert [tuple(row) for row in triplets.tolist()] == list(combinations(range(7), 3))
+
+    def test_deterministic_for_seeded_rng(self):
+        first = triplet_array(25, 100, np.random.default_rng(42))
+        second = triplet_array(25, 100, np.random.default_rng(42))
+        np.testing.assert_array_equal(first, second)
+
+    def test_unranking_covers_every_triplet(self):
+        from repro.violation.metrics import _unrank_triplets
+
+        count = 10
+        total = math.comb(count, 3)
+        everything = _unrank_triplets(np.arange(total), count)
+        assert len({tuple(row) for row in everything.tolist()}) == total
+
+    def test_iter_triplets_matches_array_sampling(self):
+        listed = list(iter_triplets(15, 40, np.random.default_rng(3)))
+        array = triplet_array(15, 40, np.random.default_rng(3))
+        assert listed == [tuple(row) for row in array.tolist()]
+
+    def test_small_count_yields_nothing(self):
+        assert triplet_array(2).shape == (0, 3)
+        assert list(iter_triplets(2)) == []
+
+
+class TestKnnValidation:
+    def test_k_larger_than_candidates_raises(self):
+        matrix = np.random.default_rng(0).random((4, 4))
+        with pytest.raises(ValueError, match="exceeds"):
+            D.knn_from_matrix(matrix, 4, exclude_self=True)
+        with pytest.raises(ValueError, match="exceeds"):
+            D.knn_from_matrix(matrix, 5, exclude_self=False)
+
+    def test_k_at_limit_is_allowed(self):
+        matrix = np.random.default_rng(0).random((4, 4))
+        assert D.knn_from_matrix(matrix, 3, exclude_self=True).shape == (4, 3)
+        assert D.knn_from_matrix(matrix, 4, exclude_self=False).shape == (4, 4)
+
+
+class TestEfficiencyProbe:
+    def test_matrix_build_latency_reports_strategy(self, trajectories):
+        result = matrix_build_latency(trajectories, "dtw",
+                                      engine=MatrixEngine(strategy="chunked"),
+                                      repeats=1)
+        assert result["latency_seconds"] > 0.0
+        assert result["num_trajectories"] == len(trajectories)
+        assert result["strategy"] == "chunked"
