@@ -3,15 +3,47 @@
 Each benchmark runs its experiment exactly once (``rounds=1``) — the experiments are
 full train/evaluate pipelines, not micro-benchmarks — and saves the formatted table
 under ``benchmarks/results/`` so the reproduction artefacts survive the run.
+
+While a *benchmark* test runs, the process-wide default engine is routed through
+an **on-disk** ``MatrixCache`` under ``benchmarks/.matrix_cache/``: ground-truth
+matrices are the dominant cost of every harness and are identical across
+tables/figures that share a dataset, so repeated tier-1 runs reuse them across
+processes instead of recomputing.  The engine is installed per test and the
+previous default restored afterwards, so the cache never bleeds into ``tests/``
+when both directories are collected in one session.  (The cache is keyed by
+data + measure only — delete ``benchmarks/.matrix_cache/`` after changing
+distance/kernel code to avoid serving matrices computed by the old code.)
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.engine import MatrixCache, MatrixEngine, get_default_engine, set_default_engine
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+MATRIX_CACHE_DIR = Path(__file__).parent / ".matrix_cache"
+
+
+@pytest.fixture(scope="session")
+def cached_engine() -> MatrixEngine:
+    """One engine (and one on-disk cache handle) shared by the whole session."""
+    strategy = os.environ.get("REPRO_ENGINE_STRATEGY", "chunked")
+    return MatrixEngine(strategy=strategy,
+                        cache=MatrixCache(MATRIX_CACHE_DIR, max_entries=64))
+
+
+@pytest.fixture(autouse=True)
+def persistent_matrix_cache(cached_engine):
+    """Back the default engine with the on-disk matrix cache for this test only."""
+    previous = get_default_engine()
+    set_default_engine(cached_engine)
+    yield cached_engine
+    set_default_engine(previous)
 
 
 @pytest.fixture(scope="session")

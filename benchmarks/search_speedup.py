@@ -1,0 +1,132 @@
+"""Micro-benchmark: filter-and-refine search vs brute-force top-k.
+
+Measures, per measure, how many full distance computations the lower-bound
+pruning avoids relative to the brute-force scan (which refines every candidate
+for every query), verifies that the pruned search returns *exactly* the
+``knn_from_matrix`` neighbours, and records everything to
+``benchmarks/results/search_speedup.json`` so the serving-path trajectory of the
+repo is tracked across PRs.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/search_speedup.py [--size 200] [--queries 10]
+
+The acceptance floor for the search PR is ≥3× fewer refined distance
+computations than brute force on DTW at n=200; the script prints every ratio and
+flags any measure below its floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import generate_dataset
+from repro.distances import cross_distance_matrix, knn_from_matrix
+from repro.engine import MatrixEngine
+from repro.search import SearchService, TrajectoryIndex
+
+RESULTS_PATH = Path(__file__).parent / "results" / "search_speedup.json"
+
+#: Minimum acceptable refined-computation reduction (brute force / refined).
+FLOORS = {"dtw": 3.0}
+
+
+def benchmark_measure(index: TrajectoryIndex, trajectories, measure: str,
+                      num_queries: int, k: int, engine: MatrixEngine) -> dict:
+    kwargs = {"epsilon": 0.25} if measure in ("edr", "lcss") else {}
+    queries = trajectories[:num_queries]
+
+    start = time.perf_counter()
+    matrix = engine.cross(queries, trajectories, measure, **kwargs)
+    brute_knn = knn_from_matrix(matrix, k, exclude_self=True)
+    brute_seconds = time.perf_counter() - start
+
+    service = SearchService(index, measure=measure, k=k, engine=engine, **kwargs)
+    start = time.perf_counter()
+    results = service.search_many(queries, exclude_self=True)
+    search_seconds = time.perf_counter() - start
+
+    exact = all(np.array_equal(result.indices, brute_row)
+                for result, brute_row in zip(results, brute_knn))
+    stats = service.stats()
+    brute_refined = num_queries * (len(trajectories) - 1)
+    return {
+        "exact_match": exact,
+        "brute_refined": brute_refined,
+        "search_refined": stats["num_refined"],
+        "refined_reduction": brute_refined / max(stats["num_refined"], 1),
+        "pruned_fraction": stats["pruned_fraction"],
+        "brute_seconds": brute_seconds,
+        "search_seconds": search_seconds,
+        "latency_speedup": brute_seconds / max(search_seconds, 1e-12),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=200,
+                        help="database size (default 200)")
+    parser.add_argument("--queries", type=int, default=10,
+                        help="queries drawn from the database (default 10)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--preset", default="chengdu")
+    parser.add_argument("--measures", nargs="+",
+                        default=["dtw", "hausdorff", "frechet", "sspd", "erp",
+                                 "edr", "lcss"])
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a reduction floor is missed or "
+                             "exactness fails (refined-computation counts are "
+                             "deterministic, so floors are safe to gate on; "
+                             "wall-clock ratios are informational)")
+    args = parser.parse_args()
+
+    dataset = generate_dataset(args.preset, size=args.size, seed=0)
+    trajectories = dataset.point_arrays(spatial_only=True)
+    engine = MatrixEngine(cache=None)
+    index = TrajectoryIndex(trajectories)
+
+    rows = {measure: benchmark_measure(index, trajectories, measure, args.queries,
+                                       args.k, engine)
+            for measure in args.measures}
+
+    record = {
+        "preset": args.preset,
+        "size": args.size,
+        "num_queries": args.queries,
+        "k": args.k,
+        "platform": platform.platform(),
+        "measures": rows,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"n={args.size} ({args.preset}), {args.queries} queries, k={args.k}")
+    for measure, row in rows.items():
+        print(f"  {measure:10s} refined {row['search_refined']:5d} vs "
+              f"{row['brute_refined']} brute ({row['refined_reduction']:.1f}x fewer, "
+              f"{row['pruned_fraction'] * 100:.0f}% pruned), "
+              f"latency {row['brute_seconds']:.3f}s -> {row['search_seconds']:.3f}s, "
+              f"exact={row['exact_match']}")
+    print(f"saved {RESULTS_PATH}")
+
+    failures = [f"{measure} not identical to knn_from_matrix"
+                for measure, row in rows.items() if not row["exact_match"]]
+    # The reduction floors are calibrated for the default scale: pruning power
+    # grows with the database-to-k ratio, so tiny smoke runs only gate exactness.
+    if args.size >= 200:
+        for measure, floor in FLOORS.items():
+            if measure in rows and rows[measure]["refined_reduction"] < floor:
+                failures.append(f"{measure} refined reduction below {floor}x")
+    for failure in failures:
+        print(f"WARNING: {failure}")
+    return 1 if failures and args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

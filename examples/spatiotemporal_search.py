@@ -1,59 +1,75 @@
-"""Spatio-temporal similarity search with ST2Vec + LH-plugin.
+"""Spatio-temporal similarity search served by the search subsystem.
 
-Timestamped trajectories (the T-Drive-like preset) are compared under the TP
-spatio-temporal measure.  The example trains the ST2Vec-style two-stream encoder with
-the plugin, pre-embeds the database once and then answers similarity queries from the
-pre-embedded vectors — the deployment pattern the paper's efficiency study assumes.
+Quickstart for ``repro.search``: timestamped trajectories (the T-Drive-like
+preset) are indexed once, then top-k queries under the TP spatio-temporal
+measure are answered by a :class:`~repro.search.SearchService` — micro-batched,
+cached, and pruned with per-measure lower bounds instead of a hand-rolled
+brute-force scan::
+
+    from repro.search import SearchService
+    service = SearchService(dataset.point_arrays(), measure="tp", k=5)
+    result = service.search(query)            # exact: matches knn_from_matrix
+    result.indices, result.distances, service.stats()
+
+The example then trains the ST2Vec-style encoder with the LH-plugin and answers
+the same queries from embedding space — exact brute-force matmul top-k plus the
+IVF-style approximate index with measured recall — the deployment pattern the
+paper's efficiency study assumes.
 
 Run with:  python examples/spatiotemporal_search.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import LHPlugin, LHPluginConfig, generate_dataset
 from repro.distances import normalize_matrix, pairwise_distance_matrix
-from repro.eval import evaluate_retrieval, retrieval_latency
+from repro.eval import evaluate_retrieval
 from repro.models import ST2VecEncoder
+from repro.search import IVFEmbeddingIndex, SearchService, embedding_topk, recall_at_k
 from repro.training import SimilarityTrainer
-from repro.data import Normalizer
 
 
 def main() -> None:
     print("1. Generating timestamped trajectories (T-Drive-like preset) ...")
     dataset = generate_dataset("tdrive", size=30, seed=5, with_time=True)
+    trajectories = dataset.point_arrays(spatial_only=False)
 
-    print("2. Computing the TP spatio-temporal ground truth ...")
-    truth = normalize_matrix(
-        pairwise_distance_matrix(dataset.point_arrays(spatial_only=False), "tp"))
+    print("2. Serving exact TP top-k queries through the SearchService ...")
+    service = SearchService(trajectories, measure="tp", k=5)
+    results = service.search_many(trajectories[:5], exclude_self=True)
+    stats = service.stats()
+    print(f"   5 queries in {stats['total_latency_seconds'] * 1e3:.2f} ms, "
+          f"{stats['pruned_fraction'] * 100:.0f}% of candidates pruned by lower bounds")
+    neighbours = results[0]
+    print("   nearest neighbours of trajectory #0:",
+          {int(i): round(float(d), 4)
+           for i, d in zip(neighbours.indices, neighbours.distances)})
 
-    print("3. Training ST2Vec with the LH-plugin ...")
+    print("3. Computing the TP ground truth and training ST2Vec with the LH-plugin ...")
+    truth = normalize_matrix(pairwise_distance_matrix(trajectories, "tp"))
     plugin = LHPlugin(LHPluginConfig(point_features=3))
     encoder = ST2VecEncoder.build(dataset, embedding_dim=16, hidden_dim=16, seed=2)
     trainer = SimilarityTrainer(encoder, plugin=plugin, learning_rate=5e-3, seed=2)
     trainer.fit(dataset, truth, epochs=2)
-
     metrics = evaluate_retrieval(trainer.model_distance_matrix(dataset), truth,
                                  hr_ks=(5, 10), ndcg_ks=(10,))
     print("   retrieval quality:", {k: round(v, 3) for k, v in metrics.items()})
 
-    print("4. Pre-embedding the database and timing online retrieval ...")
+    print("4. Answering the same queries from pre-computed embeddings ...")
     embeddings = trainer.embed(dataset)
-    normalizer = Normalizer.fit(dataset)
-    sequences = [normalizer.transform_points(t.points) for t in dataset]
-    report = retrieval_latency(embeddings[:5], embeddings, k=5, plugin=plugin,
-                               query_sequences=sequences[:5], database_sequences=sequences)
-    print(f"   top-5 retrieval for 5 queries: {report['latency_seconds'] * 1e3:.2f} ms, "
-          f"database memory {report['memory_bytes'] / 1024:.1f} KiB")
+    # k=6 then drop each query itself, so the sets match the exclude_self searches.
+    exact_indices, _ = embedding_topk(embeddings[:5], embeddings, k=6)
+    exact_top5 = [[i for i in row.tolist() if i != q][:5]
+                  for q, row in enumerate(exact_indices)]
+    ivf = IVFEmbeddingIndex(embeddings, num_lists=4, seed=0)
+    approximate_indices, _ = ivf.search(embeddings[:5], k=6, nprobe=2)
+    recall = recall_at_k(approximate_indices, exact_indices)
+    print(f"   IVF (4 lists, nprobe=2) recall@6 vs exact matmul top-6: {recall:.2f}")
 
-    print("5. Nearest neighbours of trajectory #0 under the fused distance:")
-    database = plugin.embed_database(embeddings, sequences)
-    distances = plugin.distance_matrix(database)[0]
-    distances[0] = np.inf
-    for rank, index in enumerate(np.argsort(distances)[:3], start=1):
-        print(f"   rank {rank}: trajectory #{index} "
-              f"(fused distance {distances[index]:.4f}, TP truth {truth[0, index]:.4f})")
+    print("5. Embedding top-5 of trajectory #0 vs the exact TP top-5:")
+    print(f"   embedding: {exact_top5[0]}")
+    print(f"   TP truth:  {neighbours.indices.tolist()} "
+          f"(overlap {len(set(exact_top5[0]) & set(neighbours.indices))}/5)")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ learning.  This package implements the plugin and every substrate it needs:
 * :mod:`repro.models` — Neutraj, TrajGAT, Traj2SimVec, ST2Vec and Tedj re-implementations;
 * :mod:`repro.training` / :mod:`repro.eval` — similarity training loop and HR@k /
   NDCG / efficiency evaluation;
+* :mod:`repro.search` — the top-k query-serving subsystem: per-measure lower
+  bounds, exact filter-and-refine ``knn_search``, embedding ANN, and the
+  micro-batching ``SearchService``;
 * :mod:`repro.experiments` — one harness per table and figure of the paper.
 
 Quickstart
@@ -44,6 +47,7 @@ from .core import (
 )
 from .data import Trajectory, TrajectoryDataset, generate_dataset, available_presets
 from .engine import MatrixEngine, get_default_engine, set_default_engine
+from .search import SearchService, TrajectoryIndex, knn_search
 from .violation import ratio_of_violation, average_relative_violation, violation_report
 
 __version__ = "1.0.0"
@@ -53,6 +57,7 @@ __all__ = [
     "lorentz_distance", "lorentz_inner", "cosh_projection", "vanilla_projection",
     "Trajectory", "TrajectoryDataset", "generate_dataset", "available_presets",
     "MatrixEngine", "get_default_engine", "set_default_engine",
+    "SearchService", "TrajectoryIndex", "knn_search",
     "ratio_of_violation", "average_relative_violation", "violation_report",
     "__version__",
 ]

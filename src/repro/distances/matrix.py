@@ -50,6 +50,11 @@ def cross_distance_matrix(queries: Sequence, database: Sequence, measure="dtw",
 def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> np.ndarray:
     """Indices of the ``k`` nearest columns for every row of a distance matrix.
 
+    Tie-breaking is deterministic: equal distances are ordered by ascending column
+    index (the sort is a stable argsort).  ``repro.search.knn_search`` guarantees
+    the identical ``(distance, index)`` order, so exact-search parity tests compare
+    index arrays directly without tolerance games.
+
     Parameters
     ----------
     matrix:
@@ -76,6 +81,7 @@ def knn_from_matrix(matrix: np.ndarray, k: int, exclude_self: bool = False) -> n
     if exclude_self:
         limit = min(working.shape)
         working[np.arange(limit), np.arange(limit)] = np.inf
+    # kind="stable" is load-bearing: it pins the tie order documented above.
     order = np.argsort(working, axis=1, kind="stable")
     return order[:, :k]
 

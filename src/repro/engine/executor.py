@@ -129,6 +129,25 @@ class MatrixEngine:
             self.cache.put(key, matrix)
         return matrix
 
+    def pairs(self, list_a: Sequence, list_b: Sequence, measure="dtw",
+              **measure_kwargs) -> np.ndarray:
+        """Distances for aligned trajectory pairs ``(list_a[i], list_b[i])``.
+
+        This is the refinement primitive of the search subsystem: a top-k query
+        refines a *subset* of candidates against one query, which is a ragged pair
+        list rather than a full matrix.  Runs under the configured strategy and
+        kernel policy; results are never cached (the pair lists are query-shaped
+        and would only pollute the matrix cache).
+        """
+        arrays_a = _point_arrays(list_a)
+        arrays_b = _point_arrays(list_b)
+        if len(arrays_a) != len(arrays_b):
+            raise ValueError("pairs() needs aligned lists of equal length")
+        if not arrays_a:
+            return np.zeros(0)
+        positions = np.arange(len(arrays_a))
+        return self._run(arrays_a, arrays_b, positions, positions, measure, measure_kwargs)
+
     def violation_statistics(self, matrix: np.ndarray, max_triplets: int | None = None,
                              seed: int = 0, tolerance: float = 1e-12,
                              vectorized: bool = True) -> dict:

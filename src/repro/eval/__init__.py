@@ -12,6 +12,7 @@ from .efficiency import (
     database_memory_bytes,
     retrieval_latency,
     matrix_build_latency,
+    search_latency,
     EfficiencyResult,
 )
 
@@ -19,5 +20,5 @@ __all__ = [
     "hit_rate", "per_query_hit_rate", "ndcg", "evaluate_retrieval",
     "euclidean_distance_matrix",
     "time_callable", "database_memory_bytes", "retrieval_latency",
-    "matrix_build_latency", "EfficiencyResult",
+    "matrix_build_latency", "search_latency", "EfficiencyResult",
 ]

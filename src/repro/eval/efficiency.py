@@ -22,6 +22,7 @@ __all__ = [
     "database_memory_bytes",
     "retrieval_latency",
     "matrix_build_latency",
+    "search_latency",
     "EfficiencyResult",
 ]
 
@@ -80,6 +81,46 @@ def matrix_build_latency(trajectories, measure: str = "dtw", engine=None,
         measure=measure,
         strategy=probe.strategy,
         use_kernels=probe.use_kernels,
+    )
+
+
+def search_latency(trajectories, queries, k: int = 10, measure: str = "dtw",
+                   engine=None, batch_size: int | None = None, repeats: int = 3,
+                   exclude_self: bool = False, **measure_kwargs) -> EfficiencyResult:
+    """Online top-k latency through the filter-and-refine search service.
+
+    The index is built once (offline, like the paper's pre-embedding step) and the
+    measurement covers serving every query through a fresh
+    :class:`~repro.search.SearchService`, so cache effects across repeats are
+    excluded while pruning statistics reflect a cold service.  Alongside latency,
+    the result reports how many candidate refinements the lower bounds avoided —
+    the quantity the search micro-benchmark gates on.
+    """
+    from ..search import SearchService, TrajectoryIndex
+
+    index = trajectories if isinstance(trajectories, TrajectoryIndex) \
+        else TrajectoryIndex(trajectories)
+    last_service: dict = {}
+
+    def run() -> None:
+        service = SearchService(index, measure=measure, k=k, engine=engine,
+                                batch_size=batch_size, **measure_kwargs)
+        service.search_many(queries, k=k, exclude_self=exclude_self)
+        last_service["service"] = service
+
+    latency = time_callable(run, repeats=repeats)
+    stats = last_service["service"].stats()
+    return EfficiencyResult(
+        latency_seconds=latency,
+        latency_per_query_seconds=latency / max(len(queries), 1),
+        database_size=len(index),
+        num_queries=len(queries),
+        k=k,
+        measure=measure,
+        num_candidates=stats["num_candidates"],
+        num_refined=stats["num_refined"],
+        num_pruned=stats["num_pruned"],
+        pruned_fraction=stats["pruned_fraction"],
     )
 
 

@@ -4,13 +4,17 @@ Models are trained on 20%–100% of the trajectory database and evaluated on the
 database.  Expected shape: accuracy rises with the training fraction for both the
 original model and the plugin variant, and the plugin curve sits above the original
 at every fraction.
+
+The harness additionally probes the *online* scalability axis: top-k latency and
+lower-bound pruning through the filter-and-refine search subsystem over the same
+database, reported alongside the accuracy table.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..eval import evaluate_retrieval
+from ..eval import evaluate_retrieval, search_latency
 from .reporting import format_float, format_table
 from .runner import ExperimentSettings, make_plugin, prepare_experiment
 from ..models import get_model
@@ -19,6 +23,23 @@ from ..training import SimilarityTrainer
 __all__ = ["run", "format_result"]
 
 DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Queries timed by the search-latency probe (drawn from the database itself).
+PROBE_QUERIES = 5
+
+
+def _search_probe(settings: ExperimentSettings, dataset) -> dict:
+    """Exact top-k latency/pruning over the experiment database."""
+    from .runner import _SPATIOTEMPORAL_MEASURES
+
+    spatial_only = settings.measure not in _SPATIOTEMPORAL_MEASURES
+    trajectories = dataset.point_arrays(spatial_only=spatial_only)
+    num_queries = min(PROBE_QUERIES, len(trajectories))
+    k = min(5, len(trajectories) - 1)
+    return dict(search_latency(trajectories, trajectories[:num_queries], k=k,
+                               measure=settings.measure, repeats=1,
+                               engine=settings.make_engine(), exclude_self=True,
+                               **settings.measure_kwargs()))
 
 
 def run(settings: ExperimentSettings | None = None, fractions=DEFAULT_FRACTIONS) -> dict:
@@ -48,7 +69,8 @@ def run(settings: ExperimentSettings | None = None, fractions=DEFAULT_FRACTIONS)
                                          ndcg_ks=settings.ndcg_ks)
             results[variant].append({"fraction": fraction, "train_size": train_count,
                                      "metrics": metrics})
-    return {"settings": settings, "fractions": list(fractions), "results": results}
+    return {"settings": settings, "fractions": list(fractions), "results": results,
+            "search_probe": _search_probe(settings, dataset)}
 
 
 def format_result(result: dict, metric: str = "hr@10") -> str:
@@ -67,4 +89,12 @@ def format_result(result: dict, metric: str = "hr@10") -> str:
             format_float(original["metrics"][metric], 4),
             format_float(plugin["metrics"][metric], 4),
         ])
-    return format_table(headers, rows, title="Figure 6: scalability with training-data size")
+    table = format_table(headers, rows, title="Figure 6: scalability with training-data size")
+    probe = result.get("search_probe")
+    if probe:
+        table += (f"\nsearch probe ({probe['measure']}, k={probe['k']}, "
+                  f"{probe['num_queries']} queries over {probe['database_size']}): "
+                  f"{probe['latency_per_query_seconds'] * 1e3:.2f} ms/query, "
+                  f"{probe['pruned_fraction'] * 100:.0f}% of candidates pruned "
+                  f"by lower bounds")
+    return table

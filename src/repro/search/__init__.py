@@ -1,0 +1,38 @@
+"""``repro.search`` — the top-k query-serving subsystem.
+
+Layered on the engine and data layers, this package turns the repo's offline
+distance matrices into an online search path:
+
+* :mod:`repro.search.bounds` — cheap per-measure lower bounds (LB_Keogh-style
+  envelopes, MBR/endpoint separation, length-difference and reference-point
+  bounds) behind a ``register_lower_bound`` registry;
+* :mod:`repro.search.index` — :class:`TrajectoryIndex`, an inverted cell index
+  (grid or quadtree) plus per-trajectory summaries;
+* :mod:`repro.search.knn` — :func:`knn_search`, exact filter-and-refine top-k
+  guaranteed identical to ``knn_from_matrix`` on the full matrix;
+* :mod:`repro.search.embedding` — brute-force and IVF-style approximate search
+  over trained embeddings, with recall measurement;
+* :mod:`repro.search.service` — :class:`SearchService`, the micro-batching,
+  caching query front end.
+"""
+
+from .bounds import (
+    TrajectorySummary,
+    register_lower_bound,
+    get_lower_bound,
+    available_lower_bounds,
+    lower_bound,
+)
+from .index import TrajectoryIndex
+from .knn import SearchStats, SearchResult, knn_search
+from .embedding import embedding_topk, IVFEmbeddingIndex, recall_at_k
+from .service import SearchService, PendingQuery, DEFAULT_BATCH_SIZE
+
+__all__ = [
+    "TrajectorySummary", "register_lower_bound", "get_lower_bound",
+    "available_lower_bounds", "lower_bound",
+    "TrajectoryIndex",
+    "SearchStats", "SearchResult", "knn_search",
+    "embedding_topk", "IVFEmbeddingIndex", "recall_at_k",
+    "SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE",
+]

@@ -1,0 +1,407 @@
+"""Cheap per-measure lower bounds for filter-and-refine search.
+
+Exact top-k search refuses to compute the full O(n·m) dynamic program for every
+candidate.  Instead, each measure registers a *lower bound*: a function that is
+provably ≤ the true distance and costs O(n + m) to evaluate.  Candidates whose
+bound already exceeds the best-so-far k-th distance can be discarded without ever
+running the measure — the classic filter-and-refine recipe (LB_Keogh for DTW,
+length-difference bounds for edit distances, MBR separation for point-set
+measures).
+
+Bounds are registered by measure name with :func:`register_lower_bound`, which
+mirrors ``repro.distances.base.register_distance``.  Every bound shares one
+signature::
+
+    bound(query, candidate, summary=None, query_summary=None,
+          **measure_kwargs) -> float
+
+where ``summary``/``query_summary`` are optional precomputed
+:class:`TrajectorySummary` objects (indexes keep one per trajectory so repeated
+queries never rescan candidates for their boxes, endpoints or coordinate sums).
+
+A summary does not store a single MBR but a short chain of *piecewise* boxes
+(up to :data:`DEFAULT_SEGMENTS`, consecutive pieces overlapping by one point so
+polyline segments never escape them).  Trajectories are elongated, so one box
+around a whole route is mostly empty space; a handful of boxes hugging the route
+tightens every bound below at O(n · segments) evaluation cost.
+
+Soundness (bound ≤ true distance for the same kwargs) is property-tested in
+``tests/test_search_bounds.py``; every argument below leans on two facts: the
+distance from a point to a box bounds its distance to everything inside the box
+(boxes are convex), and alignment-based measures must touch every row — and pair
+both endpoints — at least once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..distances.base import as_points
+
+__all__ = [
+    "DEFAULT_SEGMENTS",
+    "TrajectorySummary",
+    "register_lower_bound",
+    "get_lower_bound",
+    "available_lower_bounds",
+    "lower_bound",
+]
+
+LowerBoundFunction = Callable[..., float]
+
+_LOWER_BOUNDS: dict[str, LowerBoundFunction] = {}
+
+#: Piecewise boxes kept per trajectory summary.  More pieces → tighter bounds but
+#: linearly more bound arithmetic; 8 prunes well while staying far below the cost
+#: of any O(n·m) refinement.
+DEFAULT_SEGMENTS = 8
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """O(segments)-size trajectory metadata consumed by the lower bounds.
+
+    ``mins``/``maxs`` span all stored columns (the MBR plus, for timestamped
+    trajectories, the time range); ``segment_starts``/``segment_ends`` delimit the
+    piecewise boxes ``seg_mins``/``seg_maxs`` (inclusive point ranges, consecutive
+    pieces sharing one point); ``point_sum`` is the per-column coordinate sum used
+    by the ERP reference-point bound.
+    """
+
+    length: int
+    mins: np.ndarray
+    maxs: np.ndarray
+    first: np.ndarray
+    last: np.ndarray
+    point_sum: np.ndarray
+    segment_starts: np.ndarray
+    segment_ends: np.ndarray
+    seg_mins: np.ndarray
+    seg_maxs: np.ndarray
+
+    @staticmethod
+    def of(trajectory, segments: int = DEFAULT_SEGMENTS) -> "TrajectorySummary":
+        points = np.asarray(getattr(trajectory, "points", trajectory), dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("a trajectory must be a non-empty (n, d) array of points")
+        length = len(points)
+        pieces = np.array_split(np.arange(length), min(max(segments, 1), length))
+        starts = np.array([piece[0] for piece in pieces], dtype=np.int64)
+        # Extend every piece through the next piece's first point so the polyline
+        # segment bridging two pieces stays inside the earlier piece's box.
+        ends = np.append(starts[1:], length - 1)
+        seg_mins = np.stack([points[s:e + 1].min(axis=0) for s, e in zip(starts, ends)])
+        seg_maxs = np.stack([points[s:e + 1].max(axis=0) for s, e in zip(starts, ends)])
+        return TrajectorySummary(
+            length=length,
+            mins=points.min(axis=0),
+            maxs=points.max(axis=0),
+            first=points[0].copy(),
+            last=points[-1].copy(),
+            point_sum=points.sum(axis=0),
+            segment_starts=starts,
+            segment_ends=ends,
+            seg_mins=seg_mins,
+            seg_maxs=seg_maxs,
+        )
+
+    @property
+    def has_time(self) -> bool:
+        return self.mins.shape[0] >= 3
+
+
+# ---------------------------------------------------------------------- registry
+def register_lower_bound(name: str):
+    """Decorator registering a lower bound for the measure ``name``."""
+
+    def decorator(func: LowerBoundFunction) -> LowerBoundFunction:
+        key = name.lower()
+        if key in _LOWER_BOUNDS:
+            raise KeyError(f"lower bound for '{name}' already registered")
+        _LOWER_BOUNDS[key] = func
+        return func
+
+    return decorator
+
+
+def get_lower_bound(name: str) -> LowerBoundFunction | None:
+    """Lower bound registered for ``name``, or None when the measure has none."""
+    return _LOWER_BOUNDS.get(name.lower())
+
+
+def available_lower_bounds() -> list[str]:
+    """Names of every measure with a registered lower bound."""
+    return sorted(_LOWER_BOUNDS)
+
+
+def lower_bound(name: str, query, candidate, summary: TrajectorySummary | None = None,
+                query_summary: TrajectorySummary | None = None, **measure_kwargs) -> float:
+    """Bound for ``name`` applied to one pair (0.0 when no bound is registered)."""
+    func = get_lower_bound(name)
+    if func is None:
+        return 0.0
+    return func(query, candidate, summary=summary, query_summary=query_summary,
+                **measure_kwargs)
+
+
+# ----------------------------------------------------------------------- helpers
+def _summary_of(trajectory, summary: TrajectorySummary | None) -> TrajectorySummary:
+    return summary if summary is not None else TrajectorySummary.of(trajectory)
+
+
+def _box_gap_matrix(points: np.ndarray, seg_mins: np.ndarray,
+                    seg_maxs: np.ndarray) -> np.ndarray:
+    """(n, segments) Euclidean distances from every point to every piece box."""
+    delta = np.maximum(np.maximum(seg_mins[None, :, :] - points[:, None, :],
+                                  points[:, None, :] - seg_maxs[None, :, :]), 0.0)
+    return np.sqrt((delta ** 2).sum(axis=-1))
+
+
+def _point_gaps(points: np.ndarray, summary: TrajectorySummary) -> np.ndarray:
+    """Per-point lower bound on the distance to the summarised point set/polyline.
+
+    Every candidate point (and, because pieces overlap by one point, every
+    polyline segment) lies inside some piece box, so the minimum over piece boxes
+    bounds both the point-to-point-set and point-to-polyline distances.
+    """
+    return _box_gap_matrix(points, summary.seg_mins[:, :2],
+                           summary.seg_maxs[:, :2]).min(axis=1)
+
+
+def _chebyshev_gaps(points: np.ndarray, summary: TrajectorySummary) -> np.ndarray:
+    """Per-point Chebyshev (max-coordinate) distance to the nearest piece box."""
+    delta = np.maximum(np.maximum(summary.seg_mins[None, :, :2] - points[:, None, :],
+                                  points[:, None, :] - summary.seg_maxs[None, :, :2]), 0.0)
+    return delta.max(axis=-1).min(axis=1)
+
+
+def _alignment_row_bound(interior_gaps: np.ndarray, first_cost: float,
+                         last_cost: float) -> float:
+    """Σ of per-row alignment lower bounds with exact first/last cells.
+
+    Every warping path visits the pair (0, 0) first and (n−1, m−1) last — those
+    are distinct path cells whenever the path has more than one cell — while each
+    interior row contributes at least its cheapest reachable cell.  Adding the
+    exact endpoint costs to the interior row minima is therefore still a lower
+    bound, and a much tighter one than taking their maximum.
+
+    ``interior_gaps`` must cover rows ``1 .. n−2`` only (empty when n ≤ 2).
+    """
+    return first_cost + float(interior_gaps.sum()) + last_cost
+
+
+# --------------------------------------------------------- alignment (sum) bounds
+@register_lower_bound("dtw")
+def lb_dtw(query, candidate, band: int | None = None,
+           summary: TrajectorySummary | None = None,
+           query_summary: TrajectorySummary | None = None) -> float:
+    """LB_Keogh-style piecewise-envelope bound for (optionally banded) DTW.
+
+    Every interior query point is matched to at least one candidate point on the
+    optimal path and the path's first/last cells are exactly (0, 0)/(n−1, m−1),
+    so DTW ≥ d(a₀, b₀) + Σᵢ minⱼ d(aᵢ, bⱼ) + d(a₋₁, b₋₁) with the sum over
+    interior rows, each row min bounded by the nearest reachable piece box;
+    unbanded, the symmetric candidate-side sum applies too.  Banded, row ``i``
+    may only couple with columns ``|i − j| ≤ r`` where ``r = max(band, |n − m|)``
+    — exactly ``dtw_distance``'s widened Sakoe–Chiba radius — so only pieces
+    intersecting that window count, the sliding-envelope of LB_Keogh.
+    """
+    a = as_points(query)
+    s = _summary_of(candidate, summary)
+    n, m = len(a), s.length
+    first_cost = float(np.linalg.norm(a[0] - s.first[:2]))
+    if n == 1 and m == 1:
+        return first_cost
+    last_cost = float(np.linalg.norm(a[-1] - s.last[:2]))
+    if band is None:
+        qs = _summary_of(a, query_summary)
+        b = np.asarray(getattr(candidate, "points", candidate), dtype=np.float64)[:, :2]
+        row_sum = _alignment_row_bound(_point_gaps(a[1:-1], s) if n > 2 else np.zeros(0),
+                                       first_cost, last_cost)
+        col_sum = _alignment_row_bound(_point_gaps(b[1:-1], qs) if m > 2 else np.zeros(0),
+                                       first_cost, last_cost)
+        return max(row_sum, col_sum)
+    radius = max(int(band), abs(n - m))
+    gap_matrix = _box_gap_matrix(a, s.seg_mins[:, :2], s.seg_maxs[:, :2])
+    rows = np.arange(n)
+    window_low = np.maximum(rows - radius, 0)
+    window_high = np.minimum(rows + radius, m - 1)
+    first_piece = np.searchsorted(s.segment_ends, window_low, side="left")
+    last_piece = np.searchsorted(s.segment_starts, window_high, side="right") - 1
+    interior = np.array([gap_matrix[i, first_piece[i]:last_piece[i] + 1].min()
+                         for i in range(1, n - 1)])
+    return _alignment_row_bound(interior, first_cost, last_cost)
+
+
+@register_lower_bound("erp")
+def lb_erp(query, candidate, gap=None, summary: TrajectorySummary | None = None,
+           query_summary: TrajectorySummary | None = None) -> float:
+    """Chen & Ng's reference-point bound, lifted to the plane.
+
+    With uᵢ = aᵢ − g and vⱼ = bⱼ − g, any ERP alignment costs Σ‖uᵢ − vⱼ‖ over
+    matches plus Σ‖uᵢ‖ and Σ‖vⱼ‖ over gaps, which by the triangle inequality is
+    at least ‖Σuᵢ − Σvⱼ‖ — computable from the stored coordinate sums alone.
+    """
+    a = as_points(query)
+    s = _summary_of(candidate, summary)
+    gap_point = np.zeros(2) if gap is None else np.asarray(gap, dtype=np.float64)[:2]
+    sum_a = a.sum(axis=0) - len(a) * gap_point
+    sum_b = s.point_sum[:2] - s.length * gap_point
+    return float(np.linalg.norm(sum_a - sum_b))
+
+
+# ------------------------------------------------------------- edit-count bounds
+@register_lower_bound("edr")
+def lb_edr(query, candidate, epsilon: float = 0.25,
+           summary: TrajectorySummary | None = None,
+           query_summary: TrajectorySummary | None = None) -> float:
+    """Length-difference and unmatchable-point bounds for EDR.
+
+    The deletion/insertion counts of any alignment differ by exactly |n − m|, and
+    every point farther than ``epsilon`` (Chebyshev) from all of the other
+    trajectory's piece boxes can never satisfy EDR's match predicate, so it costs
+    one edit.
+    """
+    a = as_points(query)
+    b = as_points(candidate)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    unmatchable_a = int((_chebyshev_gaps(a, s) > epsilon).sum())
+    unmatchable_b = int((_chebyshev_gaps(b, qs) > epsilon).sum())
+    return float(max(abs(len(a) - s.length), unmatchable_a, unmatchable_b))
+
+
+@register_lower_bound("lcss")
+def lb_lcss(query, candidate, epsilon: float = 0.25,
+            summary: TrajectorySummary | None = None,
+            query_summary: TrajectorySummary | None = None) -> float:
+    """Matchable-point bound for the LCSS distance 1 − LCSS/min(n, m).
+
+    A common subsequence only contains points within ``epsilon`` (Chebyshev) of
+    some piece box of the other trajectory, capping LCSS by the matchable counts
+    of each side.
+    """
+    a = as_points(query)
+    b = as_points(candidate)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    n, m = len(a), s.length
+    matchable_a = int((_chebyshev_gaps(a, s) <= epsilon).sum())
+    matchable_b = int((_chebyshev_gaps(b, qs) <= epsilon).sum())
+    best_common = min(matchable_a, matchable_b, n, m)
+    return max(0.0, 1.0 - best_common / min(n, m))
+
+
+# --------------------------------------------------------------- point-set bounds
+@register_lower_bound("hausdorff")
+def lb_hausdorff(query, candidate, summary: TrajectorySummary | None = None,
+                 query_summary: TrajectorySummary | None = None) -> float:
+    """Piece-box bound: H(A, B) ≥ maxᵢ d(aᵢ, pieces(B)) and symmetrically for B."""
+    a = as_points(query)
+    b = as_points(candidate)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    return max(float(_point_gaps(a, s).max()), float(_point_gaps(b, qs).max()))
+
+
+@register_lower_bound("frechet")
+def lb_frechet(query, candidate, summary: TrajectorySummary | None = None,
+               query_summary: TrajectorySummary | None = None) -> float:
+    """Endpoint and piece-box bounds for the discrete Fréchet distance.
+
+    Every coupling pairs the first points with each other and the last points with
+    each other, and matches every point of one curve to some point of the other;
+    the coupling maximum dominates each of those pair distances.
+    """
+    a = as_points(query)
+    b = as_points(candidate)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    first = float(np.linalg.norm(a[0] - s.first[:2]))
+    last = float(np.linalg.norm(a[-1] - s.last[:2]))
+    return max(first, last, float(_point_gaps(a, s).max()),
+               float(_point_gaps(b, qs).max()))
+
+
+@register_lower_bound("sspd")
+def lb_sspd(query, candidate, summary: TrajectorySummary | None = None,
+            query_summary: TrajectorySummary | None = None) -> float:
+    """Piece-box bound for SSPD.
+
+    Point-to-polyline distances dominate point-to-nearest-piece-box distances
+    because every polyline segment lies inside a piece box (pieces overlap by one
+    point, and boxes are convex).
+    """
+    a = as_points(query)
+    b = as_points(candidate)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    return 0.5 * (float(_point_gaps(a, s).mean()) + float(_point_gaps(b, qs).mean()))
+
+
+# ---------------------------------------------------------- spatio-temporal bounds
+def _st_gaps(points: np.ndarray, summary: TrajectorySummary,
+             lambda_spatial: float, time_scale: float) -> np.ndarray:
+    """Per-point lower bounds on the blended spatio-temporal cost to the pieces.
+
+    For the piece containing the best-matching candidate point, the blended cost
+    is at least λ·(spatial gap to its box) + (1 − λ)·(time gap to its range), so
+    the minimum of that expression over pieces bounds minⱼ cost(i, j).
+    """
+    spatial = _box_gap_matrix(points[:, :2], summary.seg_mins[:, :2],
+                              summary.seg_maxs[:, :2])
+    temporal = np.maximum(
+        np.maximum(summary.seg_mins[None, :, 2] - points[:, None, 2],
+                   points[:, None, 2] - summary.seg_maxs[None, :, 2]), 0.0) / time_scale
+    return (lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal).min(axis=1)
+
+
+def _require_temporal(points: np.ndarray, summary: TrajectorySummary, name: str) -> None:
+    if points.shape[1] < 3 or not summary.has_time:
+        raise ValueError(f"{name} requires trajectories with a time column (lon, lat, t)")
+
+
+@register_lower_bound("tp")
+def lb_tp(query, candidate, lambda_spatial: float = 0.5, time_scale: float = 1.0,
+          summary: TrajectorySummary | None = None,
+          query_summary: TrajectorySummary | None = None) -> float:
+    """Piece-box bound on TP's symmetric mean closest-pair blend."""
+    a = as_points(query, spatial_only=False)
+    b = np.asarray(getattr(candidate, "points", candidate), dtype=np.float64)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    _require_temporal(a, s, "lb_tp")
+    forward = float(_st_gaps(a, s, lambda_spatial, time_scale).mean())
+    backward = float(_st_gaps(b, qs, lambda_spatial, time_scale).mean())
+    return 0.5 * (forward + backward)
+
+
+@register_lower_bound("dita")
+def lb_dita(query, candidate, lambda_spatial: float = 0.5, time_scale: float = 1.0,
+            summary: TrajectorySummary | None = None,
+            query_summary: TrajectorySummary | None = None) -> float:
+    """DTW-style row/endpoint bounds over the blended spatio-temporal cost."""
+    a = as_points(query, spatial_only=False)
+    b = np.asarray(getattr(candidate, "points", candidate), dtype=np.float64)
+    s = _summary_of(b, summary)
+    qs = _summary_of(a, query_summary)
+    _require_temporal(a, s, "lb_dita")
+
+    def pair_cost(p: np.ndarray, q: np.ndarray) -> float:
+        spatial = float(np.linalg.norm(p[:2] - q[:2]))
+        temporal = abs(p[2] - q[2]) / time_scale
+        return lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal
+
+    first_cost = pair_cost(a[0], s.first)
+    if len(a) == 1 and s.length == 1:
+        return first_cost
+    last_cost = pair_cost(a[-1], s.last)
+    row_interior = _st_gaps(a[1:-1], s, lambda_spatial, time_scale) \
+        if len(a) > 2 else np.zeros(0)
+    col_interior = _st_gaps(b[1:-1], qs, lambda_spatial, time_scale) \
+        if len(b) > 2 else np.zeros(0)
+    return max(_alignment_row_bound(row_interior, first_cost, last_cost),
+               _alignment_row_bound(col_interior, first_cost, last_cost))

@@ -1,0 +1,169 @@
+"""Spatial candidate index over a trajectory database.
+
+:class:`TrajectoryIndex` is the database half of the search subsystem: it holds the
+point arrays, one :class:`~repro.search.bounds.TrajectorySummary` per trajectory
+(MBR, endpoints, length, coordinate sums — everything the lower bounds consume),
+and an inverted cell index built on the existing spatial structures in
+``repro.data`` (a regular :class:`~repro.data.Grid` by default, or a
+:class:`~repro.data.QuadTree` whose leaves adapt to the point density).
+
+The inverted index answers *which trajectories touch the same cells as this
+query* — a cheap spatial-overlap signal used to rank candidates and to answer
+region queries.  It is deliberately **not** part of the exact-search pruning
+chain: cell overlap can miss true neighbours, so :func:`repro.search.knn_search`
+keeps every trajectory as a candidate and relies on the sound lower bounds
+instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.grid import Grid
+from ..data.quadtree import QuadTree
+from ..data.trajectory import BoundingBox
+from ..engine.cache import fingerprint_trajectories
+from .bounds import TrajectorySummary, get_lower_bound
+
+__all__ = ["TrajectoryIndex"]
+
+
+class TrajectoryIndex:
+    """Inverted cell index plus per-trajectory summaries for candidate generation."""
+
+    def __init__(self, trajectories: Sequence, spatial_index: str = "grid",
+                 num_columns: int = 16, num_rows: int = 16,
+                 max_points: int = 32, max_depth: int = 6, margin: float = 1e-6):
+        arrays = [np.asarray(getattr(t, "points", t), dtype=np.float64)
+                  for t in trajectories]
+        if not arrays:
+            raise ValueError("an index needs at least one trajectory")
+        for points in arrays:
+            if points.ndim != 2 or points.shape[0] == 0 or points.shape[1] < 2:
+                raise ValueError("every trajectory must be a non-empty (n, d>=2) array")
+        self.arrays = arrays
+        self.summaries = [TrajectorySummary.of(points) for points in arrays]
+        self.bounding_box = self._global_box(margin)
+
+        if spatial_index not in ("grid", "quadtree"):
+            raise ValueError(f"unknown spatial index '{spatial_index}'; "
+                             f"options: ('grid', 'quadtree')")
+        self._spatial_index = spatial_index
+        self._grid_shape = (num_columns, num_rows)
+        self._quadtree_shape = (max_points, max_depth)
+        # The cell structures are built lazily on first cell_candidates() call:
+        # the exact-search path never consumes them, so indexes constructed just
+        # for knn_search/SearchService skip the O(total points) tokenisation.
+        self._grid: Grid | None = None
+        self._quadtree: QuadTree | None = None
+        self._cells: dict[int, list[int]] | None = None
+        self._trajectory_cells: list[frozenset[int]] | None = None
+        self._fingerprint: str | None = None
+
+    # -------------------------------------------------------------- introspection
+    def __len__(self) -> int:
+        return len(self.arrays)
+
+    def __repr__(self) -> str:
+        return (f"TrajectoryIndex(size={len(self)}, "
+                f"spatial_index={self._spatial_index!r})")
+
+    @property
+    def grid(self) -> Grid | None:
+        """The cell grid (built on demand; None under the quadtree backend)."""
+        if self._spatial_index == "grid" and self._grid is None:
+            self._grid = Grid(self.bounding_box, *self._grid_shape)
+        return self._grid
+
+    @property
+    def quadtree(self) -> QuadTree | None:
+        """The quadtree (built on demand; None under the grid backend)."""
+        if self._spatial_index == "quadtree" and self._quadtree is None:
+            max_points, max_depth = self._quadtree_shape
+            tree = QuadTree(self.bounding_box, max_points=max_points,
+                            max_depth=max_depth)
+            for points in self.arrays:
+                for lon, lat in points[:, :2]:
+                    tree.insert(lon, lat)
+            self._quadtree = tree
+        return self._quadtree
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the indexed trajectories (cache keys, computed lazily)."""
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_trajectories(self.arrays)
+        return self._fingerprint
+
+    def summary(self, trajectory_id: int) -> TrajectorySummary:
+        return self.summaries[trajectory_id]
+
+    # ------------------------------------------------------------------ internals
+    def _global_box(self, margin: float) -> BoundingBox:
+        mins = np.min([s.mins[:2] for s in self.summaries], axis=0)
+        maxs = np.max([s.maxs[:2] for s in self.summaries], axis=0)
+        return BoundingBox(float(mins[0]), float(mins[1]),
+                           float(maxs[0]), float(maxs[1])).expanded(margin)
+
+    def _tokens(self, points: np.ndarray) -> list[int]:
+        if self._spatial_index == "grid":
+            return [self.grid.token_of(lon, lat) for lon, lat in points[:, :2]]
+        return [self.quadtree.leaf_for(lon, lat).node_id for lon, lat in points[:, :2]]
+
+    def _inverted_cells(self) -> dict[int, list[int]]:
+        if self._cells is None:
+            self._trajectory_cells = [frozenset(self._tokens(points))
+                                      for points in self.arrays]
+            self._cells = {}
+            for trajectory_id, cells in enumerate(self._trajectory_cells):
+                for cell in cells:
+                    self._cells.setdefault(cell, []).append(trajectory_id)
+        return self._cells
+
+    # ---------------------------------------------------------------- candidates
+    def cell_candidates(self, query, include_all: bool = False) -> np.ndarray:
+        """Trajectory ids ranked by how many cells they share with ``query``.
+
+        Ids sharing more cells come first (ties broken by ascending id).  With
+        ``include_all`` the non-overlapping remainder is appended in id order, so
+        the result is a full refinement order rather than a spatial filter.
+        """
+        points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+        query_cells = set(self._tokens(points))
+        inverted = self._inverted_cells()
+        overlap = np.zeros(len(self), dtype=np.int64)
+        for cell in query_cells:
+            for trajectory_id in inverted.get(cell, ()):
+                overlap[trajectory_id] += 1
+        order = np.argsort(-overlap, kind="stable")
+        if include_all:
+            return order
+        return order[overlap[order] > 0]
+
+    def range_query(self, box: BoundingBox) -> np.ndarray:
+        """Ids of trajectories whose MBR intersects ``box`` (ascending order)."""
+        hits = [
+            trajectory_id for trajectory_id, s in enumerate(self.summaries)
+            if (s.mins[0] <= box.max_lon and s.maxs[0] >= box.min_lon
+                and s.mins[1] <= box.max_lat and s.maxs[1] >= box.min_lat)
+        ]
+        return np.asarray(hits, dtype=np.int64)
+
+    def lower_bounds(self, query, measure: str, **measure_kwargs) -> np.ndarray:
+        """Registered lower bound of ``measure`` from ``query`` to every trajectory.
+
+        Measures without a registered bound yield all-zero bounds, which keeps
+        filter-and-refine exact (it simply refines everything).
+        """
+        bound = get_lower_bound(measure)
+        if bound is None:
+            return np.zeros(len(self))
+        points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+        query_summary = TrajectorySummary.of(points)
+        values = np.empty(len(self))
+        for trajectory_id, (candidate, s) in enumerate(zip(self.arrays, self.summaries)):
+            values[trajectory_id] = bound(points, candidate, summary=s,
+                                          query_summary=query_summary, **measure_kwargs)
+        return values

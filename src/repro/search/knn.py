@@ -1,0 +1,189 @@
+"""Exact filter-and-refine top-k search.
+
+:func:`knn_search` answers a top-k query without materialising the full
+query-to-database distance row.  Candidates are first scored with the cheap
+per-measure lower bounds (:mod:`repro.search.bounds`), then refined in
+ascending-bound order through the compute engine's batched kernels while a
+best-so-far heap tracks the current k-th distance τ.  As soon as the next bound
+exceeds τ the remaining candidates are abandoned: their true distances can only
+be larger, so the pruned tail provably contains no neighbour.
+
+The result is **identical** to ``knn_from_matrix`` on the full cross matrix,
+including tie-breaking: candidates are only abandoned when their bound is
+*strictly* above τ, and refined survivors are ordered by ``(distance, index)`` —
+the same deterministic order ``knn_from_matrix``'s stable argsort produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .index import TrajectoryIndex
+
+__all__ = ["SearchStats", "SearchResult", "knn_search"]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one (or, aggregated, many) filter-and-refine passes."""
+
+    num_database: int = 0
+    num_candidates: int = 0
+    num_refined: int = 0
+    num_pruned: int = 0
+    num_batches: int = 0
+    lower_bound_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Share of candidates never refined (0.0 when there were no candidates)."""
+        if self.num_candidates == 0:
+            return 0.0
+        return self.num_pruned / self.num_candidates
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another pass into this one (used by the query service)."""
+        self.num_database += other.num_database
+        self.num_candidates += other.num_candidates
+        self.num_refined += other.num_refined
+        self.num_pruned += other.num_pruned
+        self.num_batches += other.num_batches
+        self.lower_bound_seconds += other.lower_bound_seconds
+        self.refine_seconds += other.refine_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "num_database": self.num_database,
+            "num_candidates": self.num_candidates,
+            "num_refined": self.num_refined,
+            "num_pruned": self.num_pruned,
+            "num_batches": self.num_batches,
+            "pruned_fraction": self.pruned_fraction,
+            "lower_bound_seconds": self.lower_bound_seconds,
+            "refine_seconds": self.refine_seconds,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Top-k neighbours of one query: indices, distances and the pass statistics."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+    stats: SearchStats
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _normalise_exclude(exclude) -> frozenset[int]:
+    if exclude is None:
+        return frozenset()
+    if isinstance(exclude, (int, np.integer)):
+        return frozenset((int(exclude),))
+    if isinstance(exclude, Iterable):
+        return frozenset(int(item) for item in exclude)
+    raise TypeError("exclude must be None, an int or an iterable of ints")
+
+
+def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = "dtw",
+               engine=None, batch_size: int = 8, exclude=None,
+               **measure_kwargs) -> SearchResult:
+    """Exact k nearest neighbours of ``query`` under a registered measure.
+
+    Parameters
+    ----------
+    index:
+        A prebuilt :class:`TrajectoryIndex` (reusable across queries, which
+        amortises the per-trajectory summaries) or any trajectory sequence, which
+        is indexed on the fly.
+    query:
+        Trajectory or point array; spatio-temporal measures need a time column.
+    k:
+        Number of neighbours; like ``knn_from_matrix`` it must not exceed the
+        number of non-excluded candidates.
+    engine:
+        :class:`~repro.engine.MatrixEngine` used for refinement (default engine
+        when omitted), so kernel selection matches matrix construction exactly.
+    batch_size:
+        Candidates refined per engine call.  1 maximises pruning (τ tightens
+        after every distance); larger batches amortise kernel dispatch.
+    exclude:
+        Index / indices never returned (e.g. the query itself when it belongs to
+        the database) — the counterpart of ``knn_from_matrix(exclude_self=True)``.
+    """
+    if not isinstance(index, TrajectoryIndex):
+        index = TrajectoryIndex(index)
+    if engine is None:
+        from ..engine import get_default_engine
+
+        engine = get_default_engine()
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    excluded = _normalise_exclude(exclude)
+    num_candidates = sum(1 for i in range(len(index)) if i not in excluded)
+    if k > num_candidates:
+        raise ValueError(f"k={k} exceeds the {num_candidates} available candidates "
+                         f"({len(index)} indexed{', after exclusions' if excluded else ''})")
+
+    start = time.perf_counter()
+    bounds = index.lower_bounds(query, measure, **measure_kwargs)
+    lower_bound_seconds = time.perf_counter() - start
+    order = np.argsort(bounds, kind="stable")
+    if excluded:
+        order = order[~np.isin(order, list(excluded))]
+
+    query_points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+    heap: list[tuple[float, int]] = []  # (-distance, -index): root = current worst
+    refined: list[tuple[float, int]] = []
+    refine_seconds = 0.0
+    num_batches = 0
+    position = 0
+    while position < len(order):
+        tau = -heap[0][0] if len(heap) == k else np.inf
+        batch: list[int] = []
+        while (position < len(order) and len(batch) < batch_size
+               and (len(heap) < k or bounds[order[position]] <= tau)):
+            batch.append(int(order[position]))
+            position += 1
+        if not batch:
+            break  # every remaining bound is strictly above τ — abandon the tail
+        start = time.perf_counter()
+        distances = engine.pairs([query_points] * len(batch),
+                                 [index.arrays[i] for i in batch],
+                                 measure, **measure_kwargs)
+        refine_seconds += time.perf_counter() - start
+        num_batches += 1
+        for candidate, distance in zip(batch, distances):
+            distance = float(distance)
+            refined.append((distance, candidate))
+            item = (-distance, -candidate)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+    refined.sort()
+    top = refined[:k]
+    stats = SearchStats(
+        num_database=len(index),
+        num_candidates=len(order),
+        num_refined=len(refined),
+        num_pruned=len(order) - len(refined),
+        num_batches=num_batches,
+        lower_bound_seconds=lower_bound_seconds,
+        refine_seconds=refine_seconds,
+    )
+    return SearchResult(
+        indices=np.array([candidate for _, candidate in top], dtype=np.int64),
+        distances=np.array([distance for distance, _ in top]),
+        stats=stats,
+    )

@@ -1,0 +1,200 @@
+"""Batched query serving on top of the exact filter-and-refine path.
+
+:class:`SearchService` is the front door a query-heavy deployment talks to.  It
+owns one :class:`~repro.search.index.TrajectoryIndex` and a compute engine, and
+adds the serving-side concerns the bare :func:`~repro.search.knn_search` call
+does not have:
+
+* **micro-batching** — :meth:`submit` enqueues a query and returns a
+  :class:`PendingQuery` handle; the queue is flushed either when it reaches the
+  service batch size (``REPRO_SEARCH_BATCH_SIZE`` environment variable, mirroring
+  ``REPRO_ENGINE_STRATEGY``) or when a handle's result is demanded.  Queries in
+  one flush share the engine's kernel dispatch and the result cache, which is how
+  concurrent traffic amortises fixed costs;
+* **result caching** — answers are cached under the same content-addressed
+  scheme as the matrix cache (query fingerprint + index fingerprint + measure +
+  kwargs + k), so repeated queries are served without touching the engine;
+* **statistics** — per-service totals (queries, cache hits, latency, pruning
+  ratios) consumed by ``eval.efficiency.search_latency`` and the search
+  micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.cache import cache_key, fingerprint_trajectories
+from .index import TrajectoryIndex
+from .knn import SearchResult, SearchStats, knn_search
+
+__all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE"]
+
+_BATCH_ENV = "REPRO_SEARCH_BATCH_SIZE"
+
+DEFAULT_BATCH_SIZE = 8
+
+
+class PendingQuery:
+    """Handle for a submitted query; resolving it flushes the service if needed."""
+
+    __slots__ = ("_service", "_result", "_error")
+
+    def __init__(self, service: "SearchService"):
+        self._service = service
+        self._result: SearchResult | None = None
+        self._error: Exception | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    def result(self) -> SearchResult:
+        """The query's :class:`SearchResult`, flushing the pending batch if needed.
+
+        A query that failed (e.g. an invalid ``k``) raises its own error here —
+        at resolution time, not at :meth:`SearchService.submit` time — and never
+        disturbs the other queries of its batch.
+        """
+        if not self.done:
+            self._service.flush()
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None  # flush() resolves every pending handle
+        return self._result
+
+
+class SearchService:
+    """Micro-batching, caching front end over exact trajectory top-k search."""
+
+    def __init__(self, index: TrajectoryIndex | Sequence, measure: str = "dtw",
+                 k: int = 10, engine=None, batch_size: int | None = None,
+                 refine_batch_size: int = 8, cache_entries: int = 256,
+                 **measure_kwargs):
+        self.index = index if isinstance(index, TrajectoryIndex) else TrajectoryIndex(index)
+        self.measure = measure
+        self.default_k = k
+        if engine is None:
+            from ..engine import get_default_engine
+
+            engine = get_default_engine()
+        self.engine = engine
+        if batch_size is None:
+            batch_size = int(os.environ.get(_BATCH_ENV, DEFAULT_BATCH_SIZE))
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.refine_batch_size = refine_batch_size
+        self.measure_kwargs = dict(measure_kwargs)
+        if cache_entries < 0:
+            raise ValueError("cache_entries must be non-negative")
+        self._cache_entries = cache_entries
+        self._cache: OrderedDict[str, SearchResult] = OrderedDict()
+        self._pending: list[tuple[str, object, int, object, PendingQuery]] = []
+        self._totals = SearchStats()
+        self.queries_served = 0
+        self.cache_hits = 0
+        self.batches_flushed = 0
+        self.total_latency_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (f"SearchService(size={len(self.index)}, measure={self.measure!r}, "
+                f"batch_size={self.batch_size}, served={self.queries_served})")
+
+    # ------------------------------------------------------------------ serving
+    def submit(self, query, k: int | None = None, exclude=None) -> PendingQuery:
+        """Enqueue a query; the batch flushes at ``batch_size`` or on demand."""
+        k = self.default_k if k is None else k
+        handle = PendingQuery(self)
+        key = self._result_key(query, k, exclude)
+        self._pending.append((key, query, k, exclude, handle))
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        return handle
+
+    def search(self, query, k: int | None = None, exclude=None) -> SearchResult:
+        """Answer one query immediately (submit + flush)."""
+        return self.submit(query, k=k, exclude=exclude).result()
+
+    def search_many(self, queries: Sequence, k: int | None = None,
+                    exclude_self: bool = False) -> list[SearchResult]:
+        """Answer a query list through the micro-batcher, preserving order.
+
+        With ``exclude_self`` query ``i`` excludes database index ``i`` — the
+        convention for queries drawn from the database itself.
+        """
+        handles = [self.submit(query, k=k, exclude=index if exclude_self else None)
+                   for index, query in enumerate(queries)]
+        return [handle.result() for handle in handles]
+
+    def flush(self) -> int:
+        """Resolve every pending query; returns how many were processed."""
+        pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        start = time.perf_counter()
+        for key, query, k, exclude, handle in pending:
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                handle._result = cached
+            else:
+                try:
+                    result = knn_search(self.index, query, k, measure=self.measure,
+                                        engine=self.engine,
+                                        batch_size=self.refine_batch_size,
+                                        exclude=exclude, **self.measure_kwargs)
+                except Exception as error:  # a bad query must not orphan its batch
+                    handle._error = error
+                    continue
+                self._totals.merge(result.stats)
+                self._cache_put(key, result)
+                handle._result = result
+            self.queries_served += 1
+        self.batches_flushed += 1
+        self.total_latency_seconds += time.perf_counter() - start
+        return len(pending)
+
+    # -------------------------------------------------------------------- cache
+    def _result_key(self, query, k: int, exclude) -> str:
+        points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+        fingerprint = fingerprint_trajectories([points]) + self.index.fingerprint
+        return cache_key(fingerprint, self.measure, self.measure_kwargs,
+                         kind=f"knn:{k}:{exclude!r}")
+
+    def _cache_get(self, key: str) -> SearchResult | None:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+            return SearchResult(result.indices.copy(), result.distances.copy(),
+                                result.stats)
+        return None
+
+    def _cache_put(self, key: str, result: SearchResult) -> None:
+        if self._cache_entries == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+
+    # -------------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Serving totals: traffic, latency and aggregated pruning statistics."""
+        served = max(self.queries_served, 1)
+        report = {
+            "database_size": len(self.index),
+            "measure": self.measure,
+            "batch_size": self.batch_size,
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "batches_flushed": self.batches_flushed,
+            "total_latency_seconds": self.total_latency_seconds,
+            "mean_latency_seconds": self.total_latency_seconds / served,
+        }
+        report.update(self._totals.as_dict())
+        return report

@@ -1,0 +1,132 @@
+"""Pruning-soundness property tests for the per-measure lower bounds.
+
+The whole filter-and-refine contract rests on one inequality: every registered
+lower bound must be ≤ the true distance for the same keyword arguments.  These
+tests hammer that property on random trajectory pairs — including degenerate
+single-point and duplicated trajectories — for every measure in the registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.distances import available_distances, get_distance
+from repro.search import (
+    TrajectorySummary,
+    available_lower_bounds,
+    get_lower_bound,
+    lower_bound,
+    register_lower_bound,
+)
+
+#: Per-measure kwargs variants the soundness property is checked under.
+MEASURE_KWARGS = {
+    "dtw": [{}, {"band": 1}, {"band": 4}],
+    "erp": [{}, {"gap": (0.3, 0.7)}],
+    "edr": [{"epsilon": 0.25}, {"epsilon": 0.05}],
+    "lcss": [{"epsilon": 0.25}, {"epsilon": 0.05}],
+    "hausdorff": [{}],
+    "frechet": [{}],
+    "sspd": [{}],
+    "tp": [{}, {"lambda_spatial": 0.8, "time_scale": 2.0}],
+    "dita": [{}, {"lambda_spatial": 0.2, "time_scale": 0.5}],
+}
+
+SPATIOTEMPORAL = {"tp", "dita"}
+
+
+def random_trajectories(rng: np.random.Generator, with_time: bool) -> list[np.ndarray]:
+    """Assorted random trajectories: varied lengths, duplicates, single points."""
+    lengths = [1, 1, 2, 3, 5, 8, 13, 21, 34]
+    trajectories = []
+    for length in lengths:
+        points = rng.uniform(0.0, 2.0, size=(length, 2))
+        if with_time:
+            times = np.sort(rng.uniform(0.0, 10.0, size=(length, 1)), axis=0)
+            points = np.hstack([points, times])
+        trajectories.append(points)
+    trajectories.append(trajectories[-1].copy())  # exact duplicate → distance 0
+    return trajectories
+
+
+@pytest.mark.parametrize("measure", sorted(MEASURE_KWARGS))
+def test_lower_bound_is_sound(measure):
+    rng = np.random.default_rng(7)
+    trajectories = random_trajectories(rng, with_time=measure in SPATIOTEMPORAL)
+    bound = get_lower_bound(measure)
+    distance = get_distance(measure)
+    assert bound is not None
+    for kwargs in MEASURE_KWARGS[measure]:
+        for a in trajectories:
+            for b in trajectories:
+                lb = bound(a, b, **kwargs)
+                d = distance(a, b, **kwargs)
+                assert lb <= d + 1e-9, (
+                    f"{measure} bound {lb} exceeds distance {d} for kwargs {kwargs}")
+                assert lb >= 0.0
+
+
+@pytest.mark.parametrize("measure", sorted(MEASURE_KWARGS))
+def test_lower_bound_sound_on_synthetic_city(measure):
+    """Same property on realistic route-clustered data (the regime that prunes)."""
+    dataset = generate_dataset("chengdu", size=12, seed=3,
+                               with_time=measure in SPATIOTEMPORAL or None)
+    arrays = dataset.point_arrays(spatial_only=measure not in SPATIOTEMPORAL)
+    bound = get_lower_bound(measure)
+    distance = get_distance(measure)
+    kwargs = MEASURE_KWARGS[measure][0]
+    for i in range(len(arrays)):
+        for j in range(len(arrays)):
+            assert bound(arrays[i], arrays[j], **kwargs) <= \
+                distance(arrays[i], arrays[j], **kwargs) + 1e-9
+
+
+def test_every_registered_distance_has_a_lower_bound():
+    assert set(available_distances()) <= set(available_lower_bounds())
+
+
+def test_precomputed_summaries_do_not_change_the_bound():
+    rng = np.random.default_rng(11)
+    a = rng.uniform(0.0, 1.0, size=(20, 3))
+    b = rng.uniform(0.0, 1.0, size=(15, 3))
+    for measure in available_lower_bounds():
+        kwargs = MEASURE_KWARGS[measure][0]
+        bound = get_lower_bound(measure)
+        plain = bound(a, b, **kwargs)
+        summarised = bound(a, b, summary=TrajectorySummary.of(b),
+                           query_summary=TrajectorySummary.of(a), **kwargs)
+        assert summarised == pytest.approx(plain, abs=1e-12), measure
+
+
+def test_summary_fields():
+    points = np.array([[0.0, 1.0], [2.0, 3.0], [4.0, 0.5], [1.0, 2.0]])
+    summary = TrajectorySummary.of(points, segments=2)
+    assert summary.length == 4
+    np.testing.assert_allclose(summary.mins, [0.0, 0.5])
+    np.testing.assert_allclose(summary.maxs, [4.0, 3.0])
+    np.testing.assert_allclose(summary.first, [0.0, 1.0])
+    np.testing.assert_allclose(summary.last, [1.0, 2.0])
+    np.testing.assert_allclose(summary.point_sum, [7.0, 6.5])
+    assert not summary.has_time
+    # Pieces overlap by one point so polyline segments stay inside some box.
+    assert summary.segment_starts.tolist() == [0, 2]
+    assert summary.segment_ends.tolist() == [2, 3]
+
+
+def test_identical_trajectories_bound_to_zero():
+    rng = np.random.default_rng(5)
+    spatial = rng.uniform(size=(12, 2))
+    temporal = np.hstack([spatial, np.linspace(0, 1, 12)[:, None]])
+    for measure in available_lower_bounds():
+        kwargs = MEASURE_KWARGS[measure][0]
+        points = temporal if measure in SPATIOTEMPORAL else spatial
+        assert lower_bound(measure, points, points, **kwargs) == pytest.approx(0.0)
+
+
+def test_registry_rejects_duplicates_and_unknown_names_are_zero():
+    with pytest.raises(KeyError):
+        register_lower_bound("dtw")(lambda *args, **kwargs: 0.0)
+    assert get_lower_bound("no-such-measure") is None
+    assert lower_bound("no-such-measure", np.zeros((2, 2)), np.ones((2, 2))) == 0.0

@@ -1,0 +1,176 @@
+"""SearchService micro-batching/caching, embedding ANN and the latency probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.distances import cross_distance_matrix, knn_from_matrix
+from repro.eval import search_latency
+from repro.search import (
+    DEFAULT_BATCH_SIZE,
+    IVFEmbeddingIndex,
+    SearchService,
+    TrajectoryIndex,
+    embedding_topk,
+    knn_search,
+    recall_at_k,
+)
+
+
+@pytest.fixture(scope="module")
+def spatial():
+    dataset = generate_dataset("porto", size=25, seed=4)
+    return dataset.point_arrays(spatial_only=True)
+
+
+# ------------------------------------------------------------------- the service
+def test_service_results_match_direct_knn_search(spatial):
+    service = SearchService(spatial, measure="dtw", k=5)
+    direct = knn_search(service.index, spatial[2], 5, measure="dtw", exclude=2)
+    served = service.search(spatial[2], exclude=2)
+    np.testing.assert_array_equal(served.indices, direct.indices)
+    np.testing.assert_allclose(served.distances, direct.distances)
+
+
+def test_service_search_many_matches_matrix_ground_truth(spatial):
+    service = SearchService(spatial, measure="hausdorff", k=4)
+    results = service.search_many(spatial[:6], exclude_self=True)
+    matrix = cross_distance_matrix(spatial[:6], spatial, "hausdorff")
+    expected = knn_from_matrix(matrix, 4, exclude_self=True)
+    for row, result in enumerate(results):
+        np.testing.assert_array_equal(result.indices, expected[row])
+
+
+def test_service_micro_batches_and_pending_handles(spatial):
+    service = SearchService(spatial, measure="dtw", k=3, batch_size=3)
+    handles = [service.submit(spatial[i], exclude=i) for i in range(3)]
+    # The third submit hit batch_size and flushed the whole batch.
+    assert all(handle.done for handle in handles)
+    assert service.batches_flushed == 1
+    late = service.submit(spatial[3], exclude=3)
+    assert not late.done
+    assert len(late.result()) == 3  # resolving a pending handle flushes
+    assert late.done
+    assert service.batches_flushed == 2
+    assert service.flush() == 0  # idle flush is a no-op
+
+
+def test_service_failing_query_does_not_orphan_its_batch(spatial):
+    service = SearchService(spatial, measure="dtw", k=3, batch_size=4)
+    good = service.submit(spatial[0], exclude=0)
+    bad = service.submit(spatial[1], k=10 ** 9)  # k exceeds the database
+    assert len(good.result()) == 3  # resolving flushes; the bad query can't break it
+    assert bad.done
+    with pytest.raises(ValueError):
+        bad.result()
+    # Later traffic is unaffected.
+    assert len(service.search(spatial[2], exclude=2)) == 3
+
+
+def test_service_caches_repeated_queries(spatial):
+    service = SearchService(spatial, measure="dtw", k=4)
+    first = service.search(spatial[0], exclude=0)
+    refined_after_first = service.stats()["num_refined"]
+    second = service.search(spatial[0], exclude=0)
+    stats = service.stats()
+    assert stats["cache_hits"] == 1
+    assert stats["num_refined"] == refined_after_first  # no extra engine work
+    np.testing.assert_array_equal(first.indices, second.indices)
+    # Different k or exclusion must miss the cache.
+    service.search(spatial[0], k=2, exclude=0)
+    assert service.stats()["cache_hits"] == 1
+
+
+def test_service_batch_size_env_toggle(spatial, monkeypatch):
+    monkeypatch.setenv("REPRO_SEARCH_BATCH_SIZE", "2")
+    assert SearchService(spatial).batch_size == 2
+    monkeypatch.delenv("REPRO_SEARCH_BATCH_SIZE")
+    assert SearchService(spatial).batch_size == DEFAULT_BATCH_SIZE
+    assert SearchService(spatial, batch_size=7).batch_size == 7
+    with pytest.raises(ValueError):
+        SearchService(spatial, batch_size=0)
+
+
+def test_service_stats_shape(spatial):
+    service = SearchService(spatial, measure="dtw", k=3)
+    service.search_many(spatial[:4], exclude_self=True)
+    stats = service.stats()
+    assert stats["queries_served"] == 4
+    assert stats["database_size"] == len(spatial)
+    assert stats["num_candidates"] == 4 * (len(spatial) - 1)
+    assert stats["num_refined"] + stats["num_pruned"] == stats["num_candidates"]
+    assert stats["total_latency_seconds"] >= stats["mean_latency_seconds"] >= 0.0
+
+
+def test_service_accepts_prebuilt_index_and_reports_repr(spatial):
+    index = TrajectoryIndex(spatial)
+    service = SearchService(index, measure="sspd", k=2)
+    assert service.index is index
+    assert "sspd" in repr(service)
+
+
+# ------------------------------------------------------------------ embedding ANN
+def test_embedding_topk_matches_knn_from_matrix():
+    rng = np.random.default_rng(0)
+    database = rng.normal(size=(40, 8))
+    queries = rng.normal(size=(6, 8))
+    indices, distances = embedding_topk(queries, database, k=5)
+    from repro.eval import euclidean_distance_matrix
+
+    matrix = euclidean_distance_matrix(queries, database)
+    np.testing.assert_array_equal(indices, knn_from_matrix(matrix, 5))
+    assert np.all(np.diff(distances, axis=1) >= -1e-12)
+    with pytest.raises(ValueError):
+        embedding_topk(queries, database, k=0)
+    with pytest.raises(ValueError):
+        embedding_topk(queries, database, k=41)
+
+
+def test_ivf_index_recall_improves_with_nprobe():
+    rng = np.random.default_rng(1)
+    centers = rng.normal(scale=5.0, size=(6, 8))
+    database = np.concatenate([center + rng.normal(scale=0.3, size=(30, 8))
+                               for center in centers])
+    queries = database[::17] + rng.normal(scale=0.05, size=(database[::17].shape))
+    exact_indices, _ = embedding_topk(queries, database, k=10)
+    ivf = IVFEmbeddingIndex(database, num_lists=6, seed=0)
+    low, _ = ivf.search(queries, k=10, nprobe=1)
+    high, _ = ivf.search(queries, k=10, nprobe=6)
+    assert recall_at_k(high, exact_indices) >= recall_at_k(low, exact_indices)
+    # Probing every list degenerates to the exact scan.
+    assert recall_at_k(high, exact_indices) == pytest.approx(1.0)
+
+
+def test_ivf_index_always_fills_k():
+    rng = np.random.default_rng(2)
+    database = rng.normal(size=(12, 4))
+    ivf = IVFEmbeddingIndex(database, num_lists=6, seed=3)
+    indices, distances = ivf.search(database[:3], k=10, nprobe=1)
+    assert indices.shape == (3, 10)
+    assert np.all(indices >= 0)
+    assert np.all(np.diff(distances, axis=1) >= -1e-12)
+    with pytest.raises(ValueError):
+        ivf.search(database[:1], k=13)
+    with pytest.raises(ValueError):
+        ivf.search(database[:1], k=1, nprobe=0)
+    with pytest.raises(ValueError):
+        IVFEmbeddingIndex(np.zeros((0, 3)))
+
+
+def test_recall_at_k_validates_shapes():
+    with pytest.raises(ValueError):
+        recall_at_k(np.zeros((2, 3)), np.zeros((2, 4)))
+    assert recall_at_k(np.array([[1, 2]]), np.array([[2, 3]])) == pytest.approx(0.5)
+
+
+# ------------------------------------------------------------------- eval probe
+def test_search_latency_probe(spatial):
+    report = search_latency(spatial, spatial[:3], k=3, measure="dtw", repeats=1,
+                            exclude_self=True)
+    assert report["num_queries"] == 3
+    assert report["database_size"] == len(spatial)
+    assert report["latency_seconds"] > 0.0
+    assert report["num_refined"] + report["num_pruned"] == report["num_candidates"]
+    assert 0.0 <= report["pruned_fraction"] <= 1.0
