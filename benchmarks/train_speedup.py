@@ -1,0 +1,155 @@
+"""Micro-benchmark: mask-aware batched training vs the per-sample reference.
+
+Trains the RNN-based baselines (NeuTraj, ST2Vec) with and without the LH-plugin
+twice from identical initial parameters — once through the per-sample parity
+path (``batched=False``) and once through the padded, mask-aware batched path —
+and records per-epoch wall-clock plus the per-epoch losses of both runs to
+``benchmarks/results/train_speedup.json``.
+
+Two properties are gated:
+
+* **parity** — the two runs follow the same optimisation trajectory: per-epoch
+  losses must agree within a tight tolerance (the batched path performs the
+  same arithmetic, so observed differences are at the level of BLAS summation
+  order);
+* **speedup** — at the default scale (n=60) at least one RNN-based encoder must
+  train ≥3× faster per epoch through the batched path.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/train_speedup.py [--size 60] [--epochs 2]
+
+Parity is always gated under ``--strict``; the speedup floor only applies at
+``--size`` ≥ 60 (tiny smoke runs — CI uses n=16 — have too little work per
+batch for stable timing ratios).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import LHPlugin, LHPluginConfig
+from repro.data import generate_dataset
+from repro.distances import normalize_matrix, pairwise_distance_matrix
+from repro.models import get_model
+from repro.training import SimilarityTrainer
+
+RESULTS_PATH = Path(__file__).parent / "results" / "train_speedup.json"
+
+#: Minimum acceptable batched-vs-per-sample epoch-time ratio for at least one
+#: RNN-based encoder at the default scale.
+SPEEDUP_FLOOR = 3.0
+
+#: Per-epoch losses of the two paths must agree to this tolerance.
+LOSS_RTOL = 1e-6
+LOSS_ATOL = 1e-9
+
+#: Dataset preset per benchmarked model (ST2Vec needs timestamped trajectories).
+MODELS = {
+    "neutraj": "chengdu",
+    "st2vec": "tdrive",
+}
+
+
+def run_config(model: str, preset: str, size: int, epochs: int,
+               with_plugin: bool, seed: int = 0) -> dict:
+    dataset = generate_dataset(preset, size=size, seed=seed)
+    trajectories = dataset.point_arrays(spatial_only=True)
+    truth = normalize_matrix(pairwise_distance_matrix(trajectories, "dtw"),
+                             method="mean")
+
+    results = {}
+    for batched in (False, True):
+        encoder = get_model(model).build(dataset, embedding_dim=16, hidden_dim=24,
+                                         seed=seed)
+        plugin = None
+        if with_plugin:
+            plugin = LHPlugin(LHPluginConfig(factor_dim=8, fusion_hidden=16,
+                                             seed=seed))
+        trainer = SimilarityTrainer(encoder, plugin=plugin, seed=seed,
+                                    batched=batched)
+        start = time.perf_counter()
+        history = trainer.fit(dataset, truth, epochs=epochs)
+        elapsed = time.perf_counter() - start
+        results[batched] = {
+            "seconds_per_epoch": elapsed / epochs,
+            "losses": list(history.losses),
+        }
+
+    loss_parity = bool(np.allclose(results[True]["losses"], results[False]["losses"],
+                                   rtol=LOSS_RTOL, atol=LOSS_ATOL))
+    return {
+        "model": model,
+        "preset": preset,
+        "with_plugin": with_plugin,
+        "per_sample_seconds_per_epoch": results[False]["seconds_per_epoch"],
+        "batched_seconds_per_epoch": results[True]["seconds_per_epoch"],
+        "speedup": results[False]["seconds_per_epoch"]
+        / max(results[True]["seconds_per_epoch"], 1e-12),
+        "per_sample_losses": results[False]["losses"],
+        "batched_losses": results[True]["losses"],
+        "loss_parity": loss_parity,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=60,
+                        help="dataset size (default 60)")
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--models", nargs="+", default=sorted(MODELS),
+                        choices=sorted(MODELS))
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when loss parity fails, or (at "
+                             "size >= 60) when no RNN encoder reaches the "
+                             "speedup floor; loss parity is deterministic, "
+                             "wall-clock ratios only gate at full scale")
+    args = parser.parse_args()
+
+    rows = []
+    for model in args.models:
+        preset = MODELS[model]
+        for with_plugin in (False, True):
+            row = run_config(model, preset, args.size, args.epochs, with_plugin)
+            rows.append(row)
+            print(f"  {model:8s} plugin={str(with_plugin):5s} "
+                  f"epoch {row['per_sample_seconds_per_epoch']:.2f}s -> "
+                  f"{row['batched_seconds_per_epoch']:.2f}s "
+                  f"({row['speedup']:.1f}x), parity={row['loss_parity']}")
+
+    best = max(rows, key=lambda row: row["speedup"])
+    record = {
+        "size": args.size,
+        "epochs": args.epochs,
+        "platform": platform.platform(),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "best_speedup": best["speedup"],
+        "best_config": {"model": best["model"], "with_plugin": best["with_plugin"]},
+        "configs": rows,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"best speedup {best['speedup']:.1f}x "
+          f"({best['model']}, plugin={best['with_plugin']})")
+    print(f"saved {RESULTS_PATH}")
+
+    failures = [f"{row['model']} (plugin={row['with_plugin']}) batched losses "
+                f"diverge from the per-sample reference"
+                for row in rows if not row["loss_parity"]]
+    # The floor is calibrated for the default scale; smoke runs gate parity only.
+    if args.size >= 60 and best["speedup"] < SPEEDUP_FLOOR:
+        failures.append(f"best speedup {best['speedup']:.1f}x below the "
+                        f"{SPEEDUP_FLOOR}x floor")
+    for failure in failures:
+        print(f"WARNING: {failure}")
+    return 1 if failures and args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import LSTM, Linear, Module, Tensor, as_tensor, no_grad
+from ..nn import LSTM, Linear, Module, Tensor, as_tensor, masked_mean, no_grad, pad_sequences
 from .config import LHPluginConfig
 
 __all__ = ["FactorEncoder", "DynamicFusion", "fuse_distances", "lorentz_proportion"]
@@ -61,12 +61,36 @@ class FactorEncoder(Module):
         half = self.config.factor_dim
         return factors[:half], factors[half:]
 
+    def forward_batch(self, padded, mask: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Factor vectors for a padded ``(B, T, point_features)`` batch.
+
+        Returns ``(V_Lo, V_Eu)`` as ``(B, factor_dim)`` tensors; the mask keeps
+        padded steps out of the recurrence (or the mean pooling) so every row
+        matches the per-sample :meth:`forward` within the parity tolerance.
+        """
+        padded = as_tensor(padded)
+        if padded.ndim != 3:
+            raise ValueError("forward_batch expects a (B, T, point_features) batch")
+        if self.sequence_encoder is not None:
+            _, (hidden, _) = self.sequence_encoder(padded, return_sequence=False, mask=mask)
+            summary = hidden
+        else:
+            summary = masked_mean(padded, mask)
+        factors = self.head(summary).softplus() + 1e-6
+        half = self.config.factor_dim
+        return factors[:, :half], factors[:, half:]
+
 
 def lorentz_proportion(v_lo_a: Tensor, v_eu_a: Tensor,
                        v_lo_b: Tensor, v_eu_b: Tensor) -> Tensor:
-    """The Lorentz proportion ``α_Lo`` for one trajectory pair (differentiable)."""
-    lorentz_term = (as_tensor(v_lo_a) * as_tensor(v_lo_b)).sum()
-    euclid_term = (as_tensor(v_eu_a) * as_tensor(v_eu_b)).sum()
+    """The Lorentz proportion ``α_Lo`` (differentiable).
+
+    Accepts single factor vectors (returns a scalar) or aligned ``(B, factor_dim)``
+    batches (returns a ``(B,)`` tensor); the inner products run along the last axis
+    either way, so the batched rows reproduce the per-pair arithmetic exactly.
+    """
+    lorentz_term = (as_tensor(v_lo_a) * as_tensor(v_lo_b)).sum(axis=-1)
+    euclid_term = (as_tensor(v_eu_a) * as_tensor(v_eu_b)).sum(axis=-1)
     return lorentz_term / (lorentz_term + euclid_term)
 
 
@@ -89,6 +113,11 @@ class DynamicFusion(Module):
         """Differentiable factor vectors for one trajectory."""
         return self.encoder(points)
 
+    def factors_batch(self, point_sequences) -> tuple[Tensor, Tensor]:
+        """Differentiable ``(B, factor_dim)`` factor vectors for a ragged batch."""
+        padded, mask = pad_sequences(point_sequences)
+        return self.encoder.forward_batch(Tensor(padded), mask)
+
     def alpha(self, points_a, points_b) -> Tensor:
         """Differentiable ``α_Lo`` for a pair of trajectories."""
         v_lo_a, v_eu_a = self.encoder(points_a)
@@ -96,16 +125,26 @@ class DynamicFusion(Module):
         return lorentz_proportion(v_lo_a, v_eu_a, v_lo_b, v_eu_b)
 
     # ----------------------------------------------------------- inference path
-    def factors_numpy(self, point_sequences) -> tuple[np.ndarray, np.ndarray]:
-        """Factor vectors for many trajectories, without building autograd graphs."""
+    def factors_numpy(self, point_sequences, batch_size: int = 256
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Factor vectors for many trajectories, without building autograd graphs.
+
+        Runs the mask-aware batched encoder in chunks of ``batch_size`` so
+        database pre-embedding shares the batched forward path.
+        """
+        point_sequences = list(point_sequences)
+        if not point_sequences:
+            empty = np.zeros((0, self.config.factor_dim))
+            return empty, empty.copy()
+        batch_size = max(int(batch_size), 1)
         lorentz_factors = []
         euclid_factors = []
         with no_grad():
-            for points in point_sequences:
-                v_lo, v_eu = self.encoder(points)
+            for start in range(0, len(point_sequences), batch_size):
+                v_lo, v_eu = self.factors_batch(point_sequences[start:start + batch_size])
                 lorentz_factors.append(v_lo.data.copy())
                 euclid_factors.append(v_eu.data.copy())
-        return np.array(lorentz_factors), np.array(euclid_factors)
+        return np.concatenate(lorentz_factors), np.concatenate(euclid_factors)
 
     @staticmethod
     def alpha_matrix(query_factors: tuple[np.ndarray, np.ndarray],

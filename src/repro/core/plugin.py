@@ -9,10 +9,12 @@ adds the two modules of Figure 3:
 * **Dynamic Fusion** — blends the Lorentz and Euclidean distances with a per-pair
   learned proportion ``α_Lo``.
 
-Two call paths are exposed: a differentiable pair path used during training
-(:meth:`LHPlugin.pair_distance`), and a vectorised NumPy path used for retrieval over
-pre-embedded databases (:meth:`LHPlugin.distance_matrix`), mirroring how the paper's
-efficiency experiment pre-embeds trajectories offline.
+Three call paths are exposed: a differentiable pair path used during per-sample
+training (:meth:`LHPlugin.pair_distance`), a differentiable **batched** pair path
+over ``(B, d)`` embedding blocks used by the batched trainer
+(:meth:`LHPlugin.pair_distances_from`), and a vectorised NumPy path used for
+retrieval over pre-embedded databases (:meth:`LHPlugin.distance_matrix`),
+mirroring how the paper's efficiency experiment pre-embeds trajectories offline.
 """
 
 from __future__ import annotations
@@ -88,6 +90,31 @@ class LHPlugin(Module):
         alpha = lorentz_proportion(factors_a[0], factors_a[1], factors_b[0], factors_b[1])
         return fuse_distances(lorentz, euclidean, alpha)
 
+    def pair_distances_from(self, embeddings_a: Tensor, embeddings_b: Tensor,
+                            factors_a: tuple[Tensor, Tensor] | None = None,
+                            factors_b: tuple[Tensor, Tensor] | None = None) -> Tensor:
+        """Differentiable plugin distances for aligned ``(B, d)`` embedding blocks.
+
+        The batched twin of :meth:`pair_distance_from`: projection, Lorentz
+        distance, Euclidean distance and the fusion proportion all run on whole
+        embedding blocks (``factors_*`` are ``(B, factor_dim)`` pairs), returning
+        a ``(B,)`` distance tensor whose rows reproduce the per-pair arithmetic.
+        """
+        embeddings_a = as_tensor(embeddings_a)
+        embeddings_b = as_tensor(embeddings_b)
+        if embeddings_a.ndim != 2 or embeddings_b.ndim != 2:
+            raise ValueError("pair_distances_from expects (B, d) embedding blocks")
+        hyperbolic_a = self.project_t(embeddings_a)
+        hyperbolic_b = self.project_t(embeddings_b)
+        lorentz = lorentz_distance_t(hyperbolic_a, hyperbolic_b, beta=self.config.beta)
+        if self.fusion is None:
+            return lorentz
+        if factors_a is None or factors_b is None:
+            raise ValueError("dynamic fusion requires factor vectors for both sides")
+        euclidean = euclidean_distance(embeddings_a, embeddings_b, axis=-1)
+        alpha = lorentz_proportion(factors_a[0], factors_a[1], factors_b[0], factors_b[1])
+        return fuse_distances(lorentz, euclidean, alpha)
+
     # ------------------------------------------------------------- inference path
     def embed_database(self, euclidean_embeddings: np.ndarray,
                        point_sequences=None) -> dict:
@@ -158,9 +185,17 @@ class PluggedEncoder(Module):
         """Delegate input preparation to the base encoder."""
         return self.base_encoder.prepare(trajectory)
 
+    def prepare_batch(self, trajectories):
+        """Delegate batch preparation to the base encoder."""
+        return self.base_encoder.prepare_batch(trajectories)
+
     def encode(self, prepared) -> Tensor:
         """Euclidean embedding from the (unchanged) base encoder."""
         return self.base_encoder.encode(prepared)
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """Batched Euclidean embeddings from the (unchanged) base encoder."""
+        return self.base_encoder.encode_batch(prepared_list)
 
     def pair_distance(self, prepared_a, prepared_b, points_a=None, points_b=None) -> Tensor:
         """Differentiable plugin distance between two prepared trajectories."""
@@ -168,10 +203,19 @@ class PluggedEncoder(Module):
         embedding_b = self.encode(prepared_b)
         return self.plugin.pair_distance(embedding_a, embedding_b, points_a, points_b)
 
-    def embed_many(self, prepared_list) -> np.ndarray:
-        """Euclidean embeddings for many trajectories without autograd overhead."""
-        embeddings = []
+    def embed_many(self, prepared_list, batch_size: int = 64) -> np.ndarray:
+        """Euclidean embeddings for many trajectories without autograd overhead.
+
+        Chunks through the base encoder's mask-aware ``encode_batch`` so the
+        pre-embedding step scales with batch width rather than Python loop count.
+        """
+        prepared_list = list(prepared_list)
+        if not prepared_list:
+            return np.zeros((0, self.embedding_dim))
+        batch_size = max(int(batch_size), 1)
+        blocks = []
         with no_grad():
-            for prepared in prepared_list:
-                embeddings.append(self.encode(prepared).data.copy())
-        return np.array(embeddings)
+            for start in range(0, len(prepared_list), batch_size):
+                block = self.encode_batch(prepared_list[start:start + batch_size])
+                blocks.append(block.data.copy())
+        return np.concatenate(blocks, axis=0)

@@ -53,3 +53,9 @@ class MeanPoolEncoder(TrajectoryEncoder):
 
     def encode(self, prepared: np.ndarray) -> Tensor:
         return self.network(Tensor(prepared))
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """Batched forward: the fixed-size features stack without padding."""
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        return self.network(Tensor(np.stack(prepared_list, axis=0)))

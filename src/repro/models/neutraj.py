@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Grid, Trajectory, TrajectoryDataset
-from ..nn import GRU, Linear, Tensor
+from ..nn import GRU, Linear, Tensor, pad_sequences
 from .base import TrajectoryEncoder, register_model
 
 __all__ = ["NeutrajEncoder"]
@@ -59,4 +59,12 @@ class NeutrajEncoder(TrajectoryEncoder):
 
     def encode(self, prepared: np.ndarray) -> Tensor:
         _, hidden = self.recurrent(Tensor(prepared), return_sequence=False)
+        return self.projection(hidden)
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """One masked GRU sweep over the padded batch of feature sequences."""
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        padded, mask = pad_sequences(prepared_list)
+        _, hidden = self.recurrent(Tensor(padded), return_sequence=False, mask=mask)
         return self.projection(hidden)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Normalizer, Trajectory, TrajectoryDataset
-from ..nn import LSTM, CoAttention, Linear, Tensor, concat
+from ..nn import LSTM, CoAttention, Linear, Tensor, concat, masked_mean, pad_sequences
 from .base import TrajectoryEncoder, register_model
 
 __all__ = ["ST2VecEncoder"]
@@ -56,4 +56,22 @@ class ST2VecEncoder(TrajectoryEncoder):
         temporal_states, _ = self.temporal_stream(Tensor(temporal))
         fused_spatial, fused_temporal = self.co_attention(spatial_states, temporal_states)
         pooled = concat([fused_spatial.mean(axis=0), fused_temporal.mean(axis=0)], axis=-1)
+        return self.projection(pooled)
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """Masked two-stream LSTM + masked co-attention over the padded batch.
+
+        Both streams of one trajectory share a length, so a single mask drives
+        the recurrences, the attention bias and the mean pooling.
+        """
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        spatial, mask = pad_sequences([prepared[0] for prepared in prepared_list])
+        temporal, _ = pad_sequences([prepared[1] for prepared in prepared_list])
+        spatial_states, _ = self.spatial_stream(Tensor(spatial), mask=mask)
+        temporal_states, _ = self.temporal_stream(Tensor(temporal), mask=mask)
+        fused_spatial, fused_temporal = self.co_attention(
+            spatial_states, temporal_states, mask_a=mask, mask_b=mask)
+        pooled = concat([masked_mean(fused_spatial, mask),
+                         masked_mean(fused_temporal, mask)], axis=-1)
         return self.projection(pooled)

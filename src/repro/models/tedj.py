@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import SpatioTemporalGrid, Trajectory, TrajectoryDataset
-from ..nn import GRU, Embedding, Linear, Tensor
+from ..nn import GRU, Embedding, Linear, Tensor, concat, pad_sequences, pad_token_sequences
 from .base import TrajectoryEncoder, register_model
 
 __all__ = ["TedjEncoder"]
@@ -51,8 +51,22 @@ class TedjEncoder(TrajectoryEncoder):
     def encode(self, prepared: tuple[np.ndarray, np.ndarray]) -> Tensor:
         tokens, continuous = prepared
         token_vectors = self.token_embedding(tokens)
-        from ..nn import concat
-
         sequence = concat([token_vectors, Tensor(continuous)], axis=-1)
         _, hidden = self.recurrent(sequence, return_sequence=False)
+        return self.projection(hidden)
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """Padded token lookup + masked GRU over the whole batch.
+
+        Padding uses token id 0 — a valid vocabulary row — but the mask zeroes
+        the gradient of every padded step, so the row-0 embedding only learns
+        from genuine occurrences.
+        """
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        tokens, mask = pad_token_sequences([prepared[0] for prepared in prepared_list])
+        continuous, _ = pad_sequences([prepared[1] for prepared in prepared_list])
+        token_vectors = self.token_embedding(tokens)
+        sequence = concat([token_vectors, Tensor(continuous)], axis=-1)
+        _, hidden = self.recurrent(sequence, return_sequence=False, mask=mask)
         return self.projection(hidden)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Normalizer, Trajectory, TrajectoryDataset
-from ..nn import LSTM, Linear, Tensor
+from ..nn import LSTM, Linear, Tensor, pad_sequences
 from .base import TrajectoryEncoder, register_model
 
 __all__ = ["Traj2SimVecEncoder"]
@@ -44,6 +44,17 @@ class Traj2SimVecEncoder(TrajectoryEncoder):
         _, (hidden, _) = self.recurrent(Tensor(prepared), return_sequence=False)
         return self.projection(hidden)
 
+    def encode_batch(self, prepared_list) -> Tensor:
+        """One masked LSTM sweep over the padded batch of point sequences."""
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        padded, mask = pad_sequences(prepared_list)
+        _, (hidden, _) = self.recurrent(Tensor(padded), return_sequence=False, mask=mask)
+        return self.projection(hidden)
+
+    def _prefix_position(self, length: int, split: int) -> int:
+        return max(int(round(length * split / (self.num_splits + 1))) - 1, 0)
+
     def encode_with_prefixes(self, prepared: np.ndarray) -> tuple[Tensor, list[Tensor]]:
         """Full embedding plus embeddings of ``num_splits`` prefixes.
 
@@ -55,15 +66,32 @@ class Traj2SimVecEncoder(TrajectoryEncoder):
         length = outputs.shape[0]
         prefixes = []
         for split in range(1, self.num_splits + 1):
-            position = max(int(round(length * split / (self.num_splits + 1))) - 1, 0)
-            prefixes.append(self.projection(outputs[position]))
+            prefixes.append(self.projection(outputs[self._prefix_position(length, split)]))
+        return full, prefixes
+
+    def encode_batch_with_prefixes(self, prepared_list) -> tuple[Tensor, list[Tensor]]:
+        """Batched counterpart of :meth:`encode_with_prefixes`.
+
+        Returns the full ``(B, embedding_dim)`` embeddings plus one ``(B,
+        embedding_dim)`` tensor per split, gathered from each sample's own
+        prefix positions in the masked per-step states (so sample ``i``'s rows
+        match its per-sample prefixes regardless of padding).
+        """
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        padded, mask = pad_sequences(prepared_list)
+        outputs, (hidden, _) = self.recurrent(Tensor(padded), mask=mask)
+        full = self.projection(hidden)
+        rows = np.arange(len(prepared_list))
+        prefixes = []
+        for split in range(1, self.num_splits + 1):
+            positions = np.array([self._prefix_position(len(prepared), split)
+                                  for prepared in prepared_list], dtype=np.intp)
+            prefixes.append(self.projection(outputs[rows, positions]))
         return full, prefixes
 
     def prefix_lengths(self, prepared: np.ndarray) -> list[int]:
         """Number of points of each prefix produced by :meth:`encode_with_prefixes`."""
         length = len(prepared)
-        lengths = []
-        for split in range(1, self.num_splits + 1):
-            position = max(int(round(length * split / (self.num_splits + 1))) - 1, 0)
-            lengths.append(position + 1)
-        return lengths
+        return [self._prefix_position(length, split) + 1
+                for split in range(1, self.num_splits + 1)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data import Normalizer, QuadTree, Trajectory, TrajectoryDataset, trajectory_graph
-from ..nn import GraphAttentionLayer, Linear, Tensor
+from ..nn import GraphAttentionLayer, Linear, Tensor, masked_mean, pad_sequences
 from .base import TrajectoryEncoder, register_model
 
 __all__ = ["TrajGATEncoder"]
@@ -54,4 +54,24 @@ class TrajGATEncoder(TrajectoryEncoder):
         hidden = self.attention1(Tensor(features), adjacency)
         hidden = self.attention2(hidden, adjacency)
         pooled = hidden.mean(axis=0)
+        return self.projection(pooled)
+
+    def encode_batch(self, prepared_list) -> Tensor:
+        """Batched graph attention over node-padded graphs.
+
+        Graphs are padded to the largest node count of the batch with all-False
+        adjacency rows; absent edges attend with exactly zero weight, and the
+        mean pooling is masked to the real nodes of every graph.
+        """
+        if not prepared_list:
+            raise ValueError("encode_batch needs at least one prepared trajectory")
+        features, mask = pad_sequences([prepared[0] for prepared in prepared_list])
+        batch, num_nodes = mask.shape
+        adjacency = np.zeros((batch, num_nodes, num_nodes), dtype=bool)
+        for row, (_, graph_adjacency) in enumerate(prepared_list):
+            size = graph_adjacency.shape[0]
+            adjacency[row, :size, :size] = graph_adjacency
+        hidden = self.attention1(Tensor(features), adjacency)
+        hidden = self.attention2(hidden, adjacency)
+        pooled = masked_mean(hidden, mask)
         return self.projection(pooled)

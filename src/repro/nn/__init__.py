@@ -3,7 +3,9 @@
 This package replaces PyTorch for the offline reproduction: a reverse-mode autodiff
 ``Tensor``, layers (Linear, Embedding, MLP, LayerNorm, Dropout), recurrent cells
 (LSTM, GRU), attention (dot-product, co-attention, graph attention), optimisers
-(SGD, Adam) and the loss functions used for similarity learning.
+(SGD, Adam), the loss functions used for similarity learning, and mask-aware
+sequence batching (padding helpers, masked reductions, masked recurrences and
+attention) so ragged trajectory batches train in one forward pass.
 """
 
 from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
@@ -30,6 +32,12 @@ from .ops import (
     lorentz_inner,
     squared_distance,
 )
+from .batching import (
+    pad_sequences,
+    pad_token_sequences,
+    masked_sum,
+    masked_mean,
+)
 from . import init
 
 __all__ = [
@@ -43,5 +51,6 @@ __all__ = [
     "relative_distance_loss",
     "concat", "stack", "softmax", "log_softmax", "dot",
     "euclidean_distance", "pairwise_euclidean", "lorentz_inner", "squared_distance",
+    "pad_sequences", "pad_token_sequences", "masked_sum", "masked_mean",
     "init",
 ]

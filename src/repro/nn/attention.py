@@ -20,8 +20,13 @@ __all__ = ["ScaledDotProductAttention", "CoAttention", "GraphAttentionLayer"]
 class ScaledDotProductAttention(Module):
     """Single-head scaled dot-product attention.
 
-    Expects ``query`` (n_q, d), ``key`` (n_k, d) and ``value`` (n_k, d_v); returns the
-    attended values (n_q, d_v) and the attention weights.
+    Expects ``query`` (n_q, d), ``key`` (n_k, d) and ``value`` (n_k, d_v) — or their
+    batched ``(B, ·, ·)`` forms — and returns the attended values plus the attention
+    weights.  ``mask`` is a boolean keep-mask broadcastable to the score shape (for
+    a padded batch, ``(B, 1, n_k)`` marking valid key positions); masked positions
+    receive a ``-1e9`` score, which underflows to exactly zero weight after the
+    softmax's max-shift, so batched masked attention matches per-sample attention
+    over only the valid keys.
     """
 
     def __init__(self, scale: float | None = None):
@@ -34,7 +39,8 @@ class ScaledDotProductAttention(Module):
         key = as_tensor(key)
         value = as_tensor(value)
         scale = self.scale if self.scale is not None else float(np.sqrt(key.shape[-1]))
-        scores = (query @ key.T) / scale
+        key_t = key.transpose(0, 2, 1) if key.ndim == 3 else key.T
+        scores = (query @ key_t) / scale
         if mask is not None:
             scores = scores + Tensor(np.where(mask, 0.0, -1e9))
         weights = softmax(scores, axis=-1)
@@ -56,9 +62,20 @@ class CoAttention(Module):
         self.project_a = Linear(2 * features, features, rng=rng)
         self.project_b = Linear(2 * features, features, rng=rng)
 
-    def forward(self, stream_a: Tensor, stream_b: Tensor) -> tuple[Tensor, Tensor]:
-        attended_a, _ = self.attend_ab(stream_a, stream_b, stream_b)
-        attended_b, _ = self.attend_ba(stream_b, stream_a, stream_a)
+    def forward(self, stream_a: Tensor, stream_b: Tensor,
+                mask_a: np.ndarray | None = None,
+                mask_b: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        """Fuse two streams; ``mask_a``/``mask_b`` are ``(B, T)`` validity masks.
+
+        For padded ``(B, T, H)`` batches each direction masks the *key* side, so
+        no query ever attends to a padded position.  Rows at padded query
+        positions still produce (finite) values — callers pool with
+        :func:`repro.nn.masked_mean` to exclude them.
+        """
+        key_mask_b = None if mask_b is None else (np.asarray(mask_b) > 0.0)[:, None, :]
+        key_mask_a = None if mask_a is None else (np.asarray(mask_a) > 0.0)[:, None, :]
+        attended_a, _ = self.attend_ab(stream_a, stream_b, stream_b, mask=key_mask_b)
+        attended_b, _ = self.attend_ba(stream_b, stream_a, stream_a, mask=key_mask_a)
         fused_a = self.project_a(concat([stream_a, attended_a], axis=-1)).tanh()
         fused_b = self.project_b(concat([stream_b, attended_b], axis=-1)).tanh()
         return fused_a, fused_b
@@ -89,13 +106,27 @@ class GraphAttentionLayer(Module):
         return positive + negative
 
     def forward(self, node_features: Tensor, adjacency: np.ndarray) -> Tensor:
+        """Attend over a graph, or a padded batch of graphs.
+
+        ``node_features`` is ``(n, in)`` with an ``(n, n)`` boolean adjacency, or
+        ``(B, n, in)`` with ``(B, n, n)`` adjacencies where padded node rows are
+        all-False.  Absent edges get a ``-1e9`` score, so their softmax weight
+        underflows to exactly zero; padded nodes therefore never influence real
+        nodes, and their own (meaningless) outputs are excluded by the caller's
+        masked pooling.
+        """
         node_features = as_tensor(node_features)
         adjacency = np.asarray(adjacency, dtype=bool)
-        projected = node_features @ self.weight.T                      # (n, out)
-        src_score = (projected * self.attention_src).sum(axis=-1)      # (n,)
-        dst_score = (projected * self.attention_dst).sum(axis=-1)      # (n,)
-        n = projected.shape[0]
-        scores = self._leaky_relu(src_score.reshape(n, 1) + dst_score.reshape(1, n))
+        projected = node_features @ self.weight.T                      # (..., n, out)
+        src_score = (projected * self.attention_src).sum(axis=-1)      # (..., n)
+        dst_score = (projected * self.attention_dst).sum(axis=-1)      # (..., n)
+        n = projected.shape[-2]
+        if node_features.ndim == 3:
+            batch = projected.shape[0]
+            scores = self._leaky_relu(src_score.reshape(batch, n, 1)
+                                      + dst_score.reshape(batch, 1, n))
+        else:
+            scores = self._leaky_relu(src_score.reshape(n, 1) + dst_score.reshape(1, n))
         masked = scores + Tensor(np.where(adjacency, 0.0, -1e9))
         weights = softmax(masked, axis=-1)
         return (weights @ projected).tanh()

@@ -1,0 +1,107 @@
+"""Mask-aware sequence batching: padding helpers and masked reductions.
+
+The learning stack batches ragged trajectory sequences the same way the engine
+layer batches DP wavefronts: sequences are padded to a common length and every
+batched operation carries a ``(B, T)`` validity mask so padding never leaks into
+activations or gradients.
+
+Two invariants make the batched paths numerically interchangeable with the
+per-sample ones (the parity contract pinned by ``tests/test_batch_parity.py``):
+
+* padded positions are multiplied by an exact ``0.0`` before any reduction, so
+  they contribute exact zeros to sums (and exact-zero gradients backwards);
+* masked recurrent updates blend ``new * m + old * (1 - m)`` with ``m ∈ {0, 1}``,
+  so valid steps compute exactly the per-sample recurrence and padded steps
+  carry the previous state through unchanged.
+
+The helpers here are NumPy-in / Tensor-out where differentiability is needed;
+the masks themselves are plain ``float64`` arrays (constants of the graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "pad_sequences",
+    "pad_token_sequences",
+    "masked_sum",
+    "masked_mean",
+]
+
+
+def pad_sequences(sequences) -> tuple[np.ndarray, np.ndarray]:
+    """Pad ragged ``(T_i, F)`` float sequences to ``(B, T_max, F)`` plus a mask.
+
+    Returns ``(padded, mask)`` where ``mask`` is a ``(B, T_max)`` float array
+    with 1.0 at valid positions and 0.0 at padding.  Padded positions hold
+    zeros; consumers must combine them with the mask (masked RNN updates,
+    masked reductions, attention bias) rather than rely on the zeros.
+    """
+    arrays = [np.asarray(sequence, dtype=np.float64) for sequence in sequences]
+    if not arrays:
+        raise ValueError("pad_sequences needs at least one sequence")
+    for array in arrays:
+        if array.ndim != 2 or array.shape[0] == 0:
+            raise ValueError("every sequence must be a non-empty (T, F) array")
+    features = {array.shape[1] for array in arrays}
+    if len(features) != 1:
+        raise ValueError(f"sequences disagree on feature width: {sorted(features)}")
+    longest = max(len(array) for array in arrays)
+    padded = np.zeros((len(arrays), longest, features.pop()))
+    mask = np.zeros((len(arrays), longest))
+    for row, array in enumerate(arrays):
+        padded[row, :len(array)] = array
+        mask[row, :len(array)] = 1.0
+    return padded, mask
+
+
+def pad_token_sequences(sequences, fill: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Pad ragged 1-D integer token sequences to ``(B, T_max)`` plus a mask.
+
+    Padded positions hold ``fill`` (a valid vocabulary id so embedding lookups
+    stay in range); the mask guarantees their gradients are exact zeros.
+    """
+    arrays = [np.asarray(sequence, dtype=np.intp) for sequence in sequences]
+    if not arrays:
+        raise ValueError("pad_token_sequences needs at least one sequence")
+    for array in arrays:
+        if array.ndim != 1 or array.shape[0] == 0:
+            raise ValueError("every token sequence must be a non-empty 1-D array")
+    longest = max(len(array) for array in arrays)
+    padded = np.full((len(arrays), longest), fill, dtype=np.intp)
+    mask = np.zeros((len(arrays), longest))
+    for row, array in enumerate(arrays):
+        padded[row, :len(array)] = array
+        mask[row, :len(array)] = 1.0
+    return padded, mask
+
+
+def masked_sum(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Sum ``x`` over ``axis`` counting only positions where ``mask`` is 1.
+
+    ``x`` is ``(B, T, F)`` (or ``(B, T)``) and ``mask`` is ``(B, T)``; padded
+    positions are multiplied by an exact 0.0 first, so they add nothing and
+    receive zero gradient.
+    """
+    x = as_tensor(x)
+    mask = np.asarray(mask, dtype=np.float64)
+    weights = mask.reshape(mask.shape + (1,) * (x.ndim - mask.ndim))
+    return (x * Tensor(weights)).sum(axis=axis)
+
+
+def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Mean of ``x`` over ``axis`` restricted to valid positions.
+
+    Divides the masked sum by the per-row valid count, matching the per-sample
+    ``x.mean(axis=0)`` exactly (same divisor, padded terms contribute 0.0).
+    """
+    x = as_tensor(x)
+    mask = np.asarray(mask, dtype=np.float64)
+    counts = mask.sum(axis=axis if axis < mask.ndim else -1)
+    counts = np.maximum(counts, 1.0)
+    summed = masked_sum(x, mask, axis=axis)
+    divisor = counts.reshape(counts.shape + (1,) * (summed.ndim - counts.ndim))
+    return summed / Tensor(divisor)

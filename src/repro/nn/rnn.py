@@ -94,6 +94,29 @@ class _Recurrent(Module):
         for t in range(steps):
             yield sequence[:, t, :]
 
+    @staticmethod
+    def _check_mask(mask, batch: int, steps: int) -> np.ndarray | None:
+        """Validate a ``(batch, steps)`` validity mask (1.0 valid / 0.0 padding)."""
+        if mask is None:
+            return None
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (batch, steps):
+            raise ValueError(f"mask shape {mask.shape} does not match the "
+                             f"({batch}, {steps}) padded sequence")
+        return mask
+
+    @staticmethod
+    def _masked_update(new_state: Tensor, old_state: Tensor, keep: Tensor,
+                       drop: Tensor) -> Tensor:
+        """Carry ``old_state`` through padded steps: ``new·m + old·(1 − m)``.
+
+        With a {0, 1} mask the blend is exact: valid rows take the freshly
+        computed state unchanged and padded rows keep the previous state, so the
+        final state of every sample equals its per-sample recurrence and padded
+        inputs receive exact-zero gradients.
+        """
+        return new_state * keep + old_state * drop
+
 
 class LSTM(_Recurrent):
     """LSTM sequence encoder returning all hidden states and the final state.
@@ -101,6 +124,10 @@ class LSTM(_Recurrent):
     Set ``return_sequence=False`` when only the final state is needed — it skips
     assembling the per-step output tensor, which matters for the many single-sequence
     forward passes the trajectory encoders perform.
+
+    A ``(batch, steps)`` validity ``mask`` (from :func:`repro.nn.pad_sequences`)
+    makes the layer padding-aware: padded steps carry the previous state through,
+    so every sample's final state equals its unpadded per-sample recurrence.
     """
 
     def __init__(self, input_size: int, hidden_size: int,
@@ -109,17 +136,25 @@ class LSTM(_Recurrent):
         self.cell = LSTMCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
 
-    def forward(self, sequence: Tensor,
-                return_sequence: bool = True) -> tuple[Tensor | None, tuple[Tensor, Tensor]]:
+    def forward(self, sequence: Tensor, return_sequence: bool = True,
+                mask: np.ndarray | None = None) -> tuple[Tensor | None, tuple[Tensor, Tensor]]:
         sequence = as_tensor(sequence)
         squeeze = sequence.ndim == 2
         if squeeze:
             sequence = sequence.reshape(1, *sequence.shape)
         batch = sequence.shape[0]
+        mask = self._check_mask(mask, batch, sequence.shape[1])
         hidden, cell = self.cell.initial_state(batch)
         outputs = []
-        for step in self._iterate(sequence):
-            hidden, cell = self.cell(step, (hidden, cell))
+        for t, step in enumerate(self._iterate(sequence)):
+            new_hidden, new_cell = self.cell(step, (hidden, cell))
+            if mask is None or mask[:, t].all():
+                hidden, cell = new_hidden, new_cell
+            else:
+                keep = Tensor(mask[:, t:t + 1])
+                drop = Tensor(1.0 - mask[:, t:t + 1])
+                hidden = self._masked_update(new_hidden, hidden, keep, drop)
+                cell = self._masked_update(new_cell, cell, keep, drop)
             if return_sequence:
                 outputs.append(hidden)
         stacked = None
@@ -136,7 +171,8 @@ class LSTM(_Recurrent):
 class GRU(_Recurrent):
     """GRU sequence encoder returning all hidden states and the final state.
 
-    ``return_sequence=False`` skips assembling the per-step outputs (see LSTM).
+    ``return_sequence=False`` skips assembling the per-step outputs and ``mask``
+    makes padded batches behave like per-sample recurrences (see LSTM).
     """
 
     def __init__(self, input_size: int, hidden_size: int,
@@ -145,17 +181,24 @@ class GRU(_Recurrent):
         self.cell = GRUCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
 
-    def forward(self, sequence: Tensor,
-                return_sequence: bool = True) -> tuple[Tensor | None, Tensor]:
+    def forward(self, sequence: Tensor, return_sequence: bool = True,
+                mask: np.ndarray | None = None) -> tuple[Tensor | None, Tensor]:
         sequence = as_tensor(sequence)
         squeeze = sequence.ndim == 2
         if squeeze:
             sequence = sequence.reshape(1, *sequence.shape)
         batch = sequence.shape[0]
+        mask = self._check_mask(mask, batch, sequence.shape[1])
         hidden = self.cell.initial_state(batch)
         outputs = []
-        for step in self._iterate(sequence):
-            hidden = self.cell(step, hidden)
+        for t, step in enumerate(self._iterate(sequence)):
+            new_hidden = self.cell(step, hidden)
+            if mask is None or mask[:, t].all():
+                hidden = new_hidden
+            else:
+                keep = Tensor(mask[:, t:t + 1])
+                drop = Tensor(1.0 - mask[:, t:t + 1])
+                hidden = self._masked_update(new_hidden, hidden, keep, drop)
             if return_sequence:
                 outputs.append(hidden)
         stacked = None

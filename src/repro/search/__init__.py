@@ -18,10 +18,14 @@ distance matrices into an online search path:
 
 from .bounds import (
     TrajectorySummary,
+    StackedSummaries,
     register_lower_bound,
     get_lower_bound,
     available_lower_bounds,
     lower_bound,
+    register_batch_lower_bound,
+    get_batch_lower_bound,
+    available_batch_lower_bounds,
 )
 from .index import TrajectoryIndex
 from .knn import SearchStats, SearchResult, knn_search
@@ -29,8 +33,10 @@ from .embedding import embedding_topk, IVFEmbeddingIndex, recall_at_k
 from .service import SearchService, PendingQuery, DEFAULT_BATCH_SIZE
 
 __all__ = [
-    "TrajectorySummary", "register_lower_bound", "get_lower_bound",
-    "available_lower_bounds", "lower_bound",
+    "TrajectorySummary", "StackedSummaries", "register_lower_bound",
+    "get_lower_bound", "available_lower_bounds", "lower_bound",
+    "register_batch_lower_bound", "get_batch_lower_bound",
+    "available_batch_lower_bounds",
     "TrajectoryIndex",
     "SearchStats", "SearchResult", "knn_search",
     "embedding_topk", "IVFEmbeddingIndex", "recall_at_k",

@@ -44,10 +44,14 @@ from ..distances.base import as_points
 __all__ = [
     "DEFAULT_SEGMENTS",
     "TrajectorySummary",
+    "StackedSummaries",
     "register_lower_bound",
     "get_lower_bound",
     "available_lower_bounds",
     "lower_bound",
+    "register_batch_lower_bound",
+    "get_batch_lower_bound",
+    "available_batch_lower_bounds",
 ]
 
 LowerBoundFunction = Callable[..., float]
@@ -111,6 +115,72 @@ class TrajectorySummary:
     @property
     def has_time(self) -> bool:
         return self.mins.shape[0] >= 3
+
+
+@dataclass(frozen=True)
+class StackedSummaries:
+    """Column-stacked form of many :class:`TrajectorySummary` objects.
+
+    Indexes stack their summaries once so a *batch* lower bound can score every
+    candidate in a handful of array passes instead of a Python loop: the
+    piecewise boxes of all candidates are padded to a common piece count (by
+    repeating each trajectory's final box — a duplicate box never changes a
+    min-over-pieces), endpoints and coordinate sums become ``(C, d)`` arrays,
+    and all candidate points are concatenated with ``offsets`` delimiting each
+    trajectory for ``ufunc.reduceat`` per-candidate reductions.
+    """
+
+    lengths: np.ndarray
+    firsts: np.ndarray
+    lasts: np.ndarray
+    point_sums: np.ndarray
+    seg_mins: np.ndarray
+    seg_maxs: np.ndarray
+    points: np.ndarray
+    offsets: np.ndarray
+
+    @staticmethod
+    def of(arrays, summaries=None) -> "StackedSummaries":
+        arrays = [np.asarray(getattr(item, "points", item), dtype=np.float64)
+                  for item in arrays]
+        if not arrays:
+            raise ValueError("StackedSummaries needs at least one trajectory")
+        widths = {array.shape[1] for array in arrays}
+        if len(widths) != 1:
+            raise ValueError("all trajectories must share the same column count "
+                             f"to stack their summaries; saw widths {sorted(widths)}")
+        if summaries is None:
+            summaries = [TrajectorySummary.of(array) for array in arrays]
+        pieces = max(len(summary.segment_starts) for summary in summaries)
+        width = widths.pop()
+        count = len(arrays)
+        seg_mins = np.empty((count, pieces, width))
+        seg_maxs = np.empty((count, pieces, width))
+        for row, summary in enumerate(summaries):
+            own = len(summary.segment_starts)
+            seg_mins[row, :own] = summary.seg_mins
+            seg_maxs[row, :own] = summary.seg_maxs
+            seg_mins[row, own:] = summary.seg_mins[-1]
+            seg_maxs[row, own:] = summary.seg_maxs[-1]
+        lengths = np.array([summary.length for summary in summaries], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        return StackedSummaries(
+            lengths=lengths,
+            firsts=np.stack([summary.first for summary in summaries]),
+            lasts=np.stack([summary.last for summary in summaries]),
+            point_sums=np.stack([summary.point_sum for summary in summaries]),
+            seg_mins=seg_mins,
+            seg_maxs=seg_maxs,
+            points=np.concatenate(arrays, axis=0),
+            offsets=offsets,
+        )
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def has_time(self) -> bool:
+        return self.points.shape[1] >= 3
 
 
 # ---------------------------------------------------------------------- registry
@@ -405,3 +475,312 @@ def lb_dita(query, candidate, lambda_spatial: float = 0.5, time_scale: float = 1
         if len(b) > 2 else np.zeros(0)
     return max(_alignment_row_bound(row_interior, first_cost, last_cost),
                _alignment_row_bound(col_interior, first_cost, last_cost))
+
+
+# ------------------------------------------------------------------ batch bounds
+# One-pass vectorised twins of the per-pair bounds above.  A batch bound scores a
+# query against EVERY candidate of a StackedSummaries in a few array passes:
+# query points are broadcast against the stacked candidate boxes, candidate
+# points are evaluated against the query's boxes in one concatenated pass and
+# reduced per candidate with ufunc.reduceat.  Each function mirrors its per-pair
+# twin line for line (tests/test_search_bounds.py pins them together to 1e-9);
+# returning None signals "these kwargs need the per-pair fallback" (banded DTW).
+
+_BATCH_LOWER_BOUNDS: dict[str, Callable] = {}
+
+#: Soft cap on broadcast temporaries (elements per chunk) in the stacked passes.
+_BATCH_CHUNK_ELEMENTS = 2_000_000
+
+
+def register_batch_lower_bound(name: str):
+    """Decorator registering the batch twin of the lower bound for ``name``."""
+
+    def decorator(func: Callable) -> Callable:
+        key = name.lower()
+        if key in _BATCH_LOWER_BOUNDS:
+            raise KeyError(f"batch lower bound for '{name}' already registered")
+        _BATCH_LOWER_BOUNDS[key] = func
+        return func
+
+    return decorator
+
+
+def get_batch_lower_bound(name: str) -> Callable | None:
+    """Batch lower bound registered for ``name`` (None when only per-pair exists)."""
+    return _BATCH_LOWER_BOUNDS.get(name.lower())
+
+
+def available_batch_lower_bounds() -> list[str]:
+    """Names of every measure with a registered batch lower bound."""
+    return sorted(_BATCH_LOWER_BOUNDS)
+
+
+def _stacked_gaps(points: np.ndarray, seg_mins: np.ndarray, seg_maxs: np.ndarray,
+                  chebyshev: bool = False) -> np.ndarray:
+    """(n, C) per-point distances to every candidate's nearest piece box.
+
+    ``points`` is (n, 2) and the boxes (C, S, 2); the broadcast temporary is
+    (n, block, S, 2), chunked over candidates to stay within the element cap.
+    """
+    if len(points) == 0:
+        return np.zeros((0, len(seg_mins)))
+    count = len(seg_mins)
+    pieces = seg_mins.shape[1]
+    block = max(1, _BATCH_CHUNK_ELEMENTS // max(len(points) * pieces, 1))
+    out = np.empty((len(points), count))
+    for start in range(0, count, block):
+        stop = min(start + block, count)
+        delta = np.maximum(
+            np.maximum(seg_mins[None, start:stop] - points[:, None, None, :],
+                       points[:, None, None, :] - seg_maxs[None, start:stop]), 0.0)
+        if chebyshev:
+            out[:, start:stop] = delta.max(axis=-1).min(axis=-1)
+        else:
+            out[:, start:stop] = np.sqrt((delta ** 2).sum(axis=-1)).min(axis=-1)
+    return out
+
+
+def _concat_point_gaps(points: np.ndarray, summary: TrajectorySummary,
+                       chebyshev: bool = False) -> np.ndarray:
+    """Per-point gap to the query's piece boxes for ALL candidate points at once.
+
+    The concatenated-candidate counterpart of :func:`_point_gaps` /
+    :func:`_chebyshev_gaps`: one (N, S_q) pass over every candidate point,
+    chunked over rows.
+    """
+    seg_mins = summary.seg_mins[:, :2]
+    seg_maxs = summary.seg_maxs[:, :2]
+    block = max(1, _BATCH_CHUNK_ELEMENTS // max(len(seg_mins), 1))
+    out = np.empty(len(points))
+    for start in range(0, len(points), block):
+        stop = min(start + block, len(points))
+        chunk = points[start:stop]
+        delta = np.maximum(np.maximum(seg_mins[None] - chunk[:, None, :],
+                                      chunk[:, None, :] - seg_maxs[None]), 0.0)
+        if chebyshev:
+            out[start:stop] = delta.max(axis=-1).min(axis=-1)
+        else:
+            out[start:stop] = np.sqrt((delta ** 2).sum(axis=-1)).min(axis=-1)
+    return out
+
+
+def _per_candidate_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    return np.add.reduceat(values, offsets[:-1])
+
+
+def _per_candidate_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    return np.maximum.reduceat(values, offsets[:-1])
+
+
+def _interior_sums(values: np.ndarray, offsets: np.ndarray,
+                   lengths: np.ndarray) -> np.ndarray:
+    """Per-candidate sum of ``values`` over interior rows (1 .. m−2) only.
+
+    Endpoint entries are zeroed before the segmented sum, matching the scalar
+    bounds' slicing (``b[1:-1]``); candidates shorter than three points have no
+    interior and contribute zero.
+    """
+    interior = values.copy()
+    interior[offsets[:-1]] = 0.0
+    interior[offsets[1:] - 1] = 0.0
+    sums = np.add.reduceat(interior, offsets[:-1])
+    return np.where(lengths > 2, sums, 0.0)
+
+
+@register_batch_lower_bound("dtw")
+def batch_lb_dtw(query, stacked: StackedSummaries,
+                 query_summary: TrajectorySummary, band: int | None = None
+                 ) -> np.ndarray | None:
+    """Batch twin of :func:`lb_dtw` (unbanded only; banded uses the fallback)."""
+    if band is not None:
+        return None
+    a = as_points(query)
+    n = len(a)
+    first = np.linalg.norm(stacked.firsts[:, :2] - a[0], axis=-1)
+    last = np.linalg.norm(stacked.lasts[:, :2] - a[-1], axis=-1)
+    row_interior = _stacked_gaps(a[1:-1], stacked.seg_mins[..., :2],
+                                 stacked.seg_maxs[..., :2]).sum(axis=0) \
+        if n > 2 else np.zeros(len(stacked))
+    row_sum = first + row_interior + last
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary)
+    col_interior = _interior_sums(gaps, stacked.offsets, stacked.lengths)
+    col_sum = first + col_interior + last
+    values = np.maximum(row_sum, col_sum)
+    if n == 1:
+        values = np.where(stacked.lengths == 1, first, values)
+    return values
+
+
+@register_batch_lower_bound("erp")
+def batch_lb_erp(query, stacked: StackedSummaries,
+                 query_summary: TrajectorySummary, gap=None) -> np.ndarray:
+    """Batch twin of :func:`lb_erp` over the stacked coordinate sums."""
+    a = as_points(query)
+    gap_point = np.zeros(2) if gap is None else np.asarray(gap, dtype=np.float64)[:2]
+    sum_a = a.sum(axis=0) - len(a) * gap_point
+    sums_b = stacked.point_sums[:, :2] - stacked.lengths[:, None] * gap_point
+    return np.linalg.norm(sums_b - sum_a, axis=-1)
+
+
+@register_batch_lower_bound("edr")
+def batch_lb_edr(query, stacked: StackedSummaries,
+                 query_summary: TrajectorySummary, epsilon: float = 0.25) -> np.ndarray:
+    """Batch twin of :func:`lb_edr`: length gaps and unmatchable-point counts."""
+    a = as_points(query)
+    cheb = _stacked_gaps(a, stacked.seg_mins[..., :2], stacked.seg_maxs[..., :2],
+                         chebyshev=True)
+    unmatchable_a = (cheb > epsilon).sum(axis=0)
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary, chebyshev=True)
+    unmatchable_b = _per_candidate_sum((gaps > epsilon).astype(np.float64),
+                                       stacked.offsets)
+    return np.maximum(np.abs(len(a) - stacked.lengths).astype(np.float64),
+                      np.maximum(unmatchable_a, unmatchable_b))
+
+
+@register_batch_lower_bound("lcss")
+def batch_lb_lcss(query, stacked: StackedSummaries,
+                  query_summary: TrajectorySummary, epsilon: float = 0.25) -> np.ndarray:
+    """Batch twin of :func:`lb_lcss`: matchable-point caps on the common length."""
+    a = as_points(query)
+    n = len(a)
+    cheb = _stacked_gaps(a, stacked.seg_mins[..., :2], stacked.seg_maxs[..., :2],
+                         chebyshev=True)
+    matchable_a = (cheb <= epsilon).sum(axis=0)
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary, chebyshev=True)
+    matchable_b = _per_candidate_sum((gaps <= epsilon).astype(np.float64),
+                                     stacked.offsets)
+    best_common = np.minimum(np.minimum(matchable_a, matchable_b),
+                             np.minimum(n, stacked.lengths))
+    return np.maximum(0.0, 1.0 - best_common / np.minimum(n, stacked.lengths))
+
+
+@register_batch_lower_bound("hausdorff")
+def batch_lb_hausdorff(query, stacked: StackedSummaries,
+                       query_summary: TrajectorySummary) -> np.ndarray:
+    """Batch twin of :func:`lb_hausdorff`: symmetric max piece-box gaps."""
+    a = as_points(query)
+    forward = _stacked_gaps(a, stacked.seg_mins[..., :2],
+                            stacked.seg_maxs[..., :2]).max(axis=0)
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary)
+    backward = _per_candidate_max(gaps, stacked.offsets)
+    return np.maximum(forward, backward)
+
+
+@register_batch_lower_bound("frechet")
+def batch_lb_frechet(query, stacked: StackedSummaries,
+                     query_summary: TrajectorySummary) -> np.ndarray:
+    """Batch twin of :func:`lb_frechet`: endpoint pairs plus piece-box gaps."""
+    a = as_points(query)
+    first = np.linalg.norm(stacked.firsts[:, :2] - a[0], axis=-1)
+    last = np.linalg.norm(stacked.lasts[:, :2] - a[-1], axis=-1)
+    forward = _stacked_gaps(a, stacked.seg_mins[..., :2],
+                            stacked.seg_maxs[..., :2]).max(axis=0)
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary)
+    backward = _per_candidate_max(gaps, stacked.offsets)
+    return np.maximum(np.maximum(first, last), np.maximum(forward, backward))
+
+
+@register_batch_lower_bound("sspd")
+def batch_lb_sspd(query, stacked: StackedSummaries,
+                  query_summary: TrajectorySummary) -> np.ndarray:
+    """Batch twin of :func:`lb_sspd`: symmetric mean piece-box gaps."""
+    a = as_points(query)
+    forward = _stacked_gaps(a, stacked.seg_mins[..., :2],
+                            stacked.seg_maxs[..., :2]).mean(axis=0)
+    gaps = _concat_point_gaps(stacked.points[:, :2], query_summary)
+    backward = _per_candidate_sum(gaps, stacked.offsets) / stacked.lengths
+    return 0.5 * (forward + backward)
+
+
+def _stacked_st_gaps(points: np.ndarray, seg_mins: np.ndarray, seg_maxs: np.ndarray,
+                     lambda_spatial: float, time_scale: float) -> np.ndarray:
+    """(n, C) blended spatio-temporal gaps to every candidate's best piece box."""
+    if len(points) == 0:
+        return np.zeros((0, len(seg_mins)))
+    count = len(seg_mins)
+    pieces = seg_mins.shape[1]
+    block = max(1, _BATCH_CHUNK_ELEMENTS // max(len(points) * pieces, 1))
+    out = np.empty((len(points), count))
+    for start in range(0, count, block):
+        stop = min(start + block, count)
+        mins = seg_mins[None, start:stop]
+        maxs = seg_maxs[None, start:stop]
+        spatial_delta = np.maximum(
+            np.maximum(mins[..., :2] - points[:, None, None, :2],
+                       points[:, None, None, :2] - maxs[..., :2]), 0.0)
+        spatial = np.sqrt((spatial_delta ** 2).sum(axis=-1))
+        temporal = np.maximum(
+            np.maximum(mins[..., 2] - points[:, None, None, 2],
+                       points[:, None, None, 2] - maxs[..., 2]), 0.0) / time_scale
+        blended = lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal
+        out[:, start:stop] = blended.min(axis=-1)
+    return out
+
+
+def _concat_st_gaps(points: np.ndarray, summary: TrajectorySummary,
+                    lambda_spatial: float, time_scale: float) -> np.ndarray:
+    """Blended spatio-temporal gap to the query's boxes for all candidate points."""
+    seg_mins = summary.seg_mins
+    seg_maxs = summary.seg_maxs
+    block = max(1, _BATCH_CHUNK_ELEMENTS // max(len(seg_mins), 1))
+    out = np.empty(len(points))
+    for start in range(0, len(points), block):
+        stop = min(start + block, len(points))
+        chunk = points[start:stop]
+        spatial_delta = np.maximum(
+            np.maximum(seg_mins[None, :, :2] - chunk[:, None, :2],
+                       chunk[:, None, :2] - seg_maxs[None, :, :2]), 0.0)
+        spatial = np.sqrt((spatial_delta ** 2).sum(axis=-1))
+        temporal = np.maximum(
+            np.maximum(seg_mins[None, :, 2] - chunk[:, None, 2],
+                       chunk[:, None, 2] - seg_maxs[None, :, 2]), 0.0) / time_scale
+        out[start:stop] = (lambda_spatial * spatial
+                           + (1.0 - lambda_spatial) * temporal).min(axis=-1)
+    return out
+
+
+def _require_temporal_stacked(points: np.ndarray, stacked: StackedSummaries,
+                              name: str) -> None:
+    if points.shape[1] < 3 or not stacked.has_time:
+        raise ValueError(f"{name} requires trajectories with a time column (lon, lat, t)")
+
+
+@register_batch_lower_bound("tp")
+def batch_lb_tp(query, stacked: StackedSummaries,
+                query_summary: TrajectorySummary, lambda_spatial: float = 0.5,
+                time_scale: float = 1.0) -> np.ndarray:
+    """Batch twin of :func:`lb_tp`: symmetric mean blended piece-box gaps."""
+    a = as_points(query, spatial_only=False)
+    _require_temporal_stacked(a, stacked, "lb_tp")
+    forward = _stacked_st_gaps(a, stacked.seg_mins, stacked.seg_maxs,
+                               lambda_spatial, time_scale).mean(axis=0)
+    gaps = _concat_st_gaps(stacked.points, query_summary, lambda_spatial, time_scale)
+    backward = _per_candidate_sum(gaps, stacked.offsets) / stacked.lengths
+    return 0.5 * (forward + backward)
+
+
+@register_batch_lower_bound("dita")
+def batch_lb_dita(query, stacked: StackedSummaries,
+                  query_summary: TrajectorySummary, lambda_spatial: float = 0.5,
+                  time_scale: float = 1.0) -> np.ndarray:
+    """Batch twin of :func:`lb_dita`: blended row/endpoint alignment bounds."""
+    a = as_points(query, spatial_only=False)
+    _require_temporal_stacked(a, stacked, "lb_dita")
+    n = len(a)
+
+    def pair_costs(point: np.ndarray, others: np.ndarray) -> np.ndarray:
+        spatial = np.linalg.norm(others[:, :2] - point[:2], axis=-1)
+        temporal = np.abs(others[:, 2] - point[2]) / time_scale
+        return lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal
+
+    first = pair_costs(a[0], stacked.firsts)
+    last = pair_costs(a[-1], stacked.lasts)
+    row_interior = _stacked_st_gaps(a[1:-1], stacked.seg_mins, stacked.seg_maxs,
+                                    lambda_spatial, time_scale).sum(axis=0) \
+        if n > 2 else np.zeros(len(stacked))
+    gaps = _concat_st_gaps(stacked.points, query_summary, lambda_spatial, time_scale)
+    col_interior = _interior_sums(gaps, stacked.offsets, stacked.lengths)
+    values = np.maximum(first + row_interior + last, first + col_interior + last)
+    if n == 1:
+        values = np.where(stacked.lengths == 1, first, values)
+    return values

@@ -25,7 +25,12 @@ from ..data.grid import Grid
 from ..data.quadtree import QuadTree
 from ..data.trajectory import BoundingBox
 from ..engine.cache import fingerprint_trajectories
-from .bounds import TrajectorySummary, get_lower_bound
+from .bounds import (
+    StackedSummaries,
+    TrajectorySummary,
+    get_batch_lower_bound,
+    get_lower_bound,
+)
 
 __all__ = ["TrajectoryIndex"]
 
@@ -61,6 +66,10 @@ class TrajectoryIndex:
         self._cells: dict[int, list[int]] | None = None
         self._trajectory_cells: list[frozenset[int]] | None = None
         self._fingerprint: str | None = None
+        # Stacked summary form for the vectorised lower-bound pass; built on the
+        # first lower_bounds() call.  False marks "not stackable" (databases
+        # mixing 2-D and 3-D trajectories fall back to the per-candidate loop).
+        self._stacked: StackedSummaries | bool | None = None
 
     # -------------------------------------------------------------- introspection
     def __len__(self) -> int:
@@ -151,17 +160,36 @@ class TrajectoryIndex:
         ]
         return np.asarray(hits, dtype=np.int64)
 
+    def _stacked_summaries(self) -> StackedSummaries | None:
+        """Stacked summary form shared by every vectorised lower-bound pass."""
+        if self._stacked is None:
+            widths = {array.shape[1] for array in self.arrays}
+            self._stacked = (StackedSummaries.of(self.arrays, self.summaries)
+                             if len(widths) == 1 else False)
+        return self._stacked if self._stacked is not False else None
+
     def lower_bounds(self, query, measure: str, **measure_kwargs) -> np.ndarray:
         """Registered lower bound of ``measure`` from ``query`` to every trajectory.
 
-        Measures without a registered bound yield all-zero bounds, which keeps
-        filter-and-refine exact (it simply refines everything).
+        Measures with a registered *batch* bound score all candidates in one
+        vectorised pass over the stacked piecewise boxes; the remaining cases
+        (banded DTW windows, databases mixing column counts, measures with only
+        a per-pair bound) walk the per-candidate loop.  Both paths produce the
+        same values.  Measures without a registered bound yield all-zero bounds,
+        which keeps filter-and-refine exact (it simply refines everything).
         """
         bound = get_lower_bound(measure)
         if bound is None:
             return np.zeros(len(self))
         points = np.asarray(getattr(query, "points", query), dtype=np.float64)
         query_summary = TrajectorySummary.of(points)
+        batch_bound = get_batch_lower_bound(measure)
+        if batch_bound is not None:
+            stacked = self._stacked_summaries()
+            if stacked is not None:
+                values = batch_bound(points, stacked, query_summary, **measure_kwargs)
+                if values is not None:
+                    return values
         values = np.empty(len(self))
         for trajectory_id, (candidate, s) in enumerate(zip(self.arrays, self.summaries)):
             values[trajectory_id] = bound(points, candidate, summary=s,

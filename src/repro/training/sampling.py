@@ -35,8 +35,13 @@ class PairSampler:
         order = np.argsort(masked, axis=1, kind="stable")
         return order[:, :max(self.num_nearest, 1)]
 
-    def epoch_pairs(self, shuffle: bool = True) -> list[tuple[int, int]]:
-        """One epoch worth of pairs: nearest + random others for every anchor."""
+    def epoch_pairs(self, shuffle: bool = True) -> np.ndarray:
+        """One epoch worth of pairs: nearest + random others for every anchor.
+
+        Returns a ``(num_pairs, 2)`` int64 index array — the batched trainer
+        slices and gathers it directly, and row iteration (``for i, j in
+        pairs``) still works for per-pair consumers.
+        """
         n = len(self.target_matrix)
         pairs: list[tuple[int, int]] = []
         for anchor in range(n):
@@ -47,9 +52,15 @@ class PairSampler:
                 for other in candidates:
                     if other != anchor:
                         pairs.append((anchor, int(other)))
+        index_pairs = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
         if shuffle:
-            self._rng.shuffle(pairs)
-        return pairs
+            self._rng.shuffle(index_pairs, axis=0)
+        return index_pairs
+
+    def targets_of(self, pairs: np.ndarray) -> np.ndarray:
+        """Ground-truth distances of a ``(batch, 2)`` index-pair array."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return self.target_matrix[pairs[:, 0], pairs[:, 1]]
 
     def target_of(self, pair: tuple[int, int]) -> float:
         """Ground-truth distance of a sampled pair."""

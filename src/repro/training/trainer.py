@@ -6,10 +6,23 @@ Euclidean for the original pipeline, the plugin's fused/Lorentz distance when th
 plugin is attached — and regresses it onto the (normalised) ground-truth distance.
 This mirrors the paper's setup where the plugin is trained jointly with, but without
 modifying, the base model.
+
+Two step implementations share the arithmetic:
+
+* the **batched** path (default) pads the distinct trajectories of a step into one
+  mask-aware batch, encodes each exactly once through ``encode_batch``, gathers the
+  embedding rows per pair and computes all pair distances in one sweep;
+* the **per-sample** path encodes trajectories one by one — it is the parity
+  reference the batched path is pinned against (``tests/test_batch_parity.py``)
+  and the baseline of ``benchmarks/train_speedup.py``.
+
+``REPRO_TRAIN_BATCHED=0`` flips the process-wide default to the per-sample path
+without touching code, mirroring ``REPRO_ENGINE_STRATEGY``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 import numpy as np
@@ -29,13 +42,21 @@ from ..nn import (
 from .callbacks import EarlyStopping, TrainingHistory
 from .sampling import PairSampler
 
-__all__ = ["SimilarityTrainer"]
+__all__ = ["SimilarityTrainer", "default_train_batched"]
 
 _LOSSES: dict[str, Callable] = {
     "mse": mse_loss,
     "relative": relative_distance_loss,
     "weighted_rank": weighted_rank_loss,
 }
+
+_FALSE_VALUES = {"0", "false", "no", "off"}
+
+
+def default_train_batched() -> bool:
+    """Process-wide default for batched training (env ``REPRO_TRAIN_BATCHED``)."""
+    value = os.environ.get("REPRO_TRAIN_BATCHED", "1")
+    return value.strip().lower() not in _FALSE_VALUES
 
 
 class SimilarityTrainer:
@@ -51,11 +72,16 @@ class SimilarityTrainer:
     learning_rate, batch_size, num_nearest, num_random, loss, clip_norm, seed:
         Optimisation hyper-parameters; ``num_nearest`` / ``num_random`` control the
         per-anchor pair sampling.
+    batched:
+        Whether optimisation steps run through the mask-aware batched forward
+        (``encode_batch`` + batched plugin distances) or the per-sample parity
+        path.  ``None`` defers to :func:`default_train_batched`.
     """
 
     def __init__(self, encoder, plugin: LHPlugin | None = None, learning_rate: float = 5e-3,
                  batch_size: int = 16, num_nearest: int = 5, num_random: int = 5,
-                 loss: str = "mse", clip_norm: float = 5.0, seed: int = 0):
+                 loss: str = "mse", clip_norm: float = 5.0, seed: int = 0,
+                 batched: bool | None = None):
         if loss not in _LOSSES:
             raise ValueError(f"unknown loss '{loss}'; options: {sorted(_LOSSES)}")
         self.encoder = encoder
@@ -67,6 +93,7 @@ class SimilarityTrainer:
         self.loss_fn = _LOSSES[loss]
         self.clip_norm = clip_norm
         self.seed = seed
+        self.batched = default_train_batched() if batched is None else bool(batched)
         parameters = list(encoder.parameters())
         if plugin is not None:
             parameters.extend(plugin.parameters())
@@ -86,15 +113,15 @@ class SimilarityTrainer:
             sequences.append(normalizer.transform_points(points))
         return sequences
 
-    def _batch_predictions(self, batch: list[tuple[int, int]], prepared: list,
+    def _batch_predictions(self, batch, prepared: list,
                            point_sequences: list | None) -> list[Tensor]:
-        """Pair distances for one batch, encoding each distinct trajectory only once.
+        """Per-sample pair distances for one batch (the batched path's reference).
 
         Anchors appear in many pairs of a batch; caching their embedding (and fusion
         factors) in the shared autograd graph keeps gradients identical while cutting
         the number of encoder forward passes roughly in half.
         """
-        unique_indices = sorted({index for pair in batch for index in pair})
+        unique_indices = sorted({int(index) for pair in batch for index in pair})
         embeddings = {index: self.encoder.encode(prepared[index]) for index in unique_indices}
         factors = None
         if self.plugin is not None and self.plugin.fusion is not None:
@@ -102,6 +129,7 @@ class SimilarityTrainer:
                        for index in unique_indices}
         predictions = []
         for i, j in batch:
+            i, j = int(i), int(j)
             if self.plugin is None:
                 predictions.append(euclidean_distance(embeddings[i], embeddings[j]))
             else:
@@ -110,6 +138,32 @@ class SimilarityTrainer:
                     factors[i] if factors is not None else None,
                     factors[j] if factors is not None else None))
         return predictions
+
+    def _batched_predictions(self, batch: np.ndarray, prepared: list,
+                             point_sequences: list | None) -> Tensor:
+        """Pair distances for one batch through the mask-aware batched forward.
+
+        Each distinct trajectory of the batch is encoded exactly once (one padded
+        ``encode_batch`` call), its embedding row gathered into the per-pair blocks,
+        and all pair distances computed in a single batched sweep — the same
+        arithmetic as :meth:`_batch_predictions`, minus the Python loop.
+        """
+        batch = np.asarray(batch, dtype=np.int64)
+        unique, inverse = np.unique(batch, return_inverse=True)
+        inverse = inverse.reshape(batch.shape)
+        embeddings = self.encoder.encode_batch([prepared[int(index)] for index in unique])
+        embeddings_a = embeddings[inverse[:, 0]]
+        embeddings_b = embeddings[inverse[:, 1]]
+        if self.plugin is None:
+            return euclidean_distance(embeddings_a, embeddings_b, axis=-1)
+        factors_a = factors_b = None
+        if self.plugin.fusion is not None:
+            v_lo, v_eu = self.plugin.fusion.factors_batch(
+                [point_sequences[int(index)] for index in unique])
+            factors_a = (v_lo[inverse[:, 0]], v_eu[inverse[:, 0]])
+            factors_b = (v_lo[inverse[:, 1]], v_eu[inverse[:, 1]])
+        return self.plugin.pair_distances_from(embeddings_a, embeddings_b,
+                                               factors_a, factors_b)
 
     # ---------------------------------------------------------------------- fit
     def fit(self, dataset: TrajectoryDataset, target_matrix: np.ndarray, epochs: int = 5,
@@ -124,8 +178,15 @@ class SimilarityTrainer:
         if self.optimizer is None:
             raise RuntimeError("the model has no trainable parameters")
         target_matrix = np.asarray(target_matrix, dtype=np.float64)
+        if target_matrix.ndim != 2 or target_matrix.shape[0] != target_matrix.shape[1]:
+            raise ValueError(
+                f"target_matrix must be a square 2-D distance matrix, got shape "
+                f"{target_matrix.shape}")
         if len(target_matrix) != len(dataset):
-            raise ValueError("target matrix size must match the dataset")
+            raise ValueError(
+                f"target_matrix is {len(target_matrix)}x{len(target_matrix)} but the "
+                f"dataset holds {len(dataset)} trajectories; pass the matrix computed "
+                f"over exactly this dataset")
         prepared = self.encoder.prepare_dataset(dataset)
         point_sequences = self._point_sequences(dataset)
         sampler = PairSampler(target_matrix, self.num_nearest, self.num_random, seed=self.seed)
@@ -136,10 +197,13 @@ class SimilarityTrainer:
             num_batches = 0
             for start in range(0, len(pairs), self.batch_size):
                 batch = pairs[start:start + self.batch_size]
-                predictions = self._batch_predictions(batch, prepared, point_sequences)
-                targets = [target_matrix[i, j] for i, j in batch]
-                predicted = stack([p.reshape(1) for p in predictions], axis=0).reshape(len(batch))
-                loss = self.loss_fn(predicted, Tensor(np.array(targets)))
+                if self.batched:
+                    predicted = self._batched_predictions(batch, prepared, point_sequences)
+                else:
+                    predictions = self._batch_predictions(batch, prepared, point_sequences)
+                    predicted = stack([p.reshape(1) for p in predictions],
+                                      axis=0).reshape(len(batch))
+                loss = self.loss_fn(predicted, Tensor(sampler.targets_of(batch)))
                 self.optimizer.zero_grad()
                 loss.backward()
                 if self.clip_norm:

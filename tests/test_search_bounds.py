@@ -14,8 +14,12 @@ import pytest
 from repro.data import generate_dataset
 from repro.distances import available_distances, get_distance
 from repro.search import (
+    StackedSummaries,
+    TrajectoryIndex,
     TrajectorySummary,
+    available_batch_lower_bounds,
     available_lower_bounds,
+    get_batch_lower_bound,
     get_lower_bound,
     lower_bound,
     register_lower_bound,
@@ -130,3 +134,73 @@ def test_registry_rejects_duplicates_and_unknown_names_are_zero():
         register_lower_bound("dtw")(lambda *args, **kwargs: 0.0)
     assert get_lower_bound("no-such-measure") is None
     assert lower_bound("no-such-measure", np.zeros((2, 2)), np.ones((2, 2))) == 0.0
+
+
+# ------------------------------------------------------------- batch bound parity
+def test_every_lower_bound_has_a_batch_twin():
+    assert set(available_lower_bounds()) == set(available_batch_lower_bounds())
+
+
+@pytest.mark.parametrize("measure", sorted(MEASURE_KWARGS))
+def test_index_lower_bounds_unchanged_by_vectorisation(measure):
+    """The stacked one-pass bounds must equal the per-candidate loop's values.
+
+    Covers ragged lengths (including single-point and duplicated trajectories)
+    and every kwargs variant; the banded-DTW variant exercises the per-candidate
+    fallback through the same public entry point.
+    """
+    rng = np.random.default_rng(13)
+    with_time = measure in SPATIOTEMPORAL
+    candidates = random_trajectories(rng, with_time=with_time)
+    index = TrajectoryIndex(candidates)
+    bound = get_lower_bound(measure)
+    for kwargs in MEASURE_KWARGS[measure]:
+        for query in (candidates[0], candidates[5], candidates[-1]):
+            vectorised = index.lower_bounds(query, measure, **kwargs)
+            query_summary = TrajectorySummary.of(query)
+            reference = np.array([
+                bound(query, candidate, summary=summary,
+                      query_summary=query_summary, **kwargs)
+                for candidate, summary in zip(index.arrays, index.summaries)])
+            np.testing.assert_allclose(vectorised, reference, rtol=1e-10,
+                                       atol=1e-12, err_msg=f"{measure} {kwargs}")
+
+
+def test_batch_bounds_are_sound(with_time_measures=("tp", "dita")):
+    """Vectorised bounds inherit the soundness property: bound ≤ true distance."""
+    for measure in available_batch_lower_bounds():
+        with_time = measure in with_time_measures
+        rng = np.random.default_rng(17)
+        candidates = random_trajectories(rng, with_time=with_time)
+        index = TrajectoryIndex(candidates)
+        distance = get_distance(measure)
+        kwargs = MEASURE_KWARGS[measure][0]
+        query = candidates[4]
+        bounds = index.lower_bounds(query, measure, **kwargs)
+        for candidate, value in zip(candidates, bounds):
+            assert value <= distance(query, candidate, **kwargs) + 1e-9, measure
+            assert value >= 0.0
+
+
+def test_stacked_summaries_validation_and_shape():
+    rng = np.random.default_rng(19)
+    arrays = [rng.random((length, 2)) for length in (3, 11, 1)]
+    stacked = StackedSummaries.of(arrays)
+    assert len(stacked) == 3
+    assert stacked.points.shape == (15, 2)
+    np.testing.assert_array_equal(stacked.offsets, [0, 3, 14, 15])
+    assert not stacked.has_time
+    with pytest.raises(ValueError):
+        StackedSummaries.of([])
+    with pytest.raises(ValueError):
+        StackedSummaries.of([rng.random((3, 2)), rng.random((3, 3))])
+
+
+def test_mixed_width_database_falls_back_to_loop():
+    """A database mixing (lon, lat) and (lon, lat, t) rows still yields bounds."""
+    rng = np.random.default_rng(23)
+    arrays = [rng.random((5, 2)), rng.random((4, 3))]
+    index = TrajectoryIndex(arrays)
+    values = index.lower_bounds(rng.random((3, 2)), "hausdorff")
+    assert values.shape == (2,)
+    assert np.all(values >= 0.0)
