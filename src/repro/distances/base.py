@@ -34,6 +34,11 @@ _REGISTRY: dict[str, DistanceFunction] = {}
 #: implementations.  A kernel shares the reference function's signature and must
 #: be numerically interchangeable with it (the engine parity suite enforces a
 #: 1e-9 agreement); the compute engine prefers a kernel when one is registered.
+#: Kernels may additionally accept an optional ``threshold`` keyword (their
+#: batch twins a ``thresholds`` vector): a per-pair abandon threshold, under
+#: which the kernel may return ``+inf`` instead of the exact value — but only
+#: when the exact value provably exceeds the threshold.  A finite return is
+#: always the exact distance.
 _KERNEL_REGISTRY: dict[str, DistanceFunction] = {}
 
 #: Which registered measures are true metrics (satisfy the triangle inequality).

@@ -24,9 +24,12 @@ from .kernels import (
     lcss_batch,
     frechet_batch,
     dita_batch,
+    dp_cell_count,
+    reset_dp_cell_count,
 )
 from .executor import (
     STRATEGIES,
+    DEFAULT_CHUNK_BYTES,
     MatrixEngine,
     get_default_engine,
     set_default_engine,
@@ -36,5 +39,7 @@ __all__ = [
     "MatrixCache", "cache_key", "fingerprint_trajectories",
     "available_batch_kernels", "get_batch_kernel",
     "dtw_batch", "erp_batch", "edr_batch", "lcss_batch", "frechet_batch", "dita_batch",
-    "STRATEGIES", "MatrixEngine", "get_default_engine", "set_default_engine",
+    "dp_cell_count", "reset_dp_cell_count",
+    "STRATEGIES", "DEFAULT_CHUNK_BYTES", "MatrixEngine",
+    "get_default_engine", "set_default_engine",
 ]

@@ -17,6 +17,14 @@ configuration knob rather than a code path:
 
 Results are cached in an optional :class:`~repro.engine.cache.MatrixCache` keyed by
 the trajectory content fingerprint, the measure and its kwargs.
+
+Two knobs bound resource use per chunk: ``chunk_size`` caps the pair count, and
+``chunk_bytes`` (environment variable ``REPRO_ENGINE_CHUNK_BYTES``) caps the
+padded DP tensor footprint, so a handful of very long trajectories cannot blow
+up peak RSS just because they share a chunk.  :meth:`MatrixEngine.pairs`
+additionally forwards per-pair ``thresholds`` into the τ-aware batch kernels —
+the refinement half of the search subsystem's bound → τ → in-kernel-abandon
+cascade.
 """
 
 from __future__ import annotations
@@ -31,11 +39,28 @@ from ..distances.base import get_distance, get_kernel
 from .cache import MatrixCache, cache_key, fingerprint_trajectories
 from .kernels import get_batch_kernel
 
-__all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGIES"]
+__all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGIES",
+           "DEFAULT_CHUNK_BYTES"]
 
 STRATEGIES = ("serial", "chunked", "process")
 
 _STRATEGY_ENV = "REPRO_ENGINE_STRATEGY"
+_CHUNK_BYTES_ENV = "REPRO_ENGINE_CHUNK_BYTES"
+
+#: Default cap on the padded per-chunk DP tensor footprint (cost + table), in
+#: bytes.  Generous enough that typical workloads keep their full
+#: ``chunk_size`` batches; very long trajectories split into smaller chunks
+#: instead of blowing up peak RSS.
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+def _default_chunk_bytes() -> int | None:
+    """Chunk byte budget from ``REPRO_ENGINE_CHUNK_BYTES`` (≤ 0 disables)."""
+    value = os.environ.get(_CHUNK_BYTES_ENV)
+    if value is None:
+        return DEFAULT_CHUNK_BYTES
+    parsed = int(value)
+    return parsed if parsed > 0 else None
 
 
 def _pair_function(measure, use_kernels: bool):
@@ -50,20 +75,30 @@ def _pair_function(measure, use_kernels: bool):
 
 
 def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: dict,
-                  use_kernels: bool) -> np.ndarray:
-    """Distances for aligned trajectory lists, batched when a batch kernel exists."""
+                  use_kernels: bool, thresholds=None) -> np.ndarray:
+    """Distances for aligned trajectory lists, batched when a batch kernel exists.
+
+    ``thresholds`` (per-pair abandon thresholds) only reach a batch kernel —
+    they are an optimisation contract, not a semantic one, so reference loops
+    and callable measures simply compute the full distance.
+    """
     if use_kernels and isinstance(measure, str):
         batch = get_batch_kernel(measure)
         if batch is not None:
+            if thresholds is not None:
+                return np.asarray(batch(list_a, list_b, thresholds=thresholds,
+                                        **measure_kwargs), dtype=np.float64)
             return np.asarray(batch(list_a, list_b, **measure_kwargs), dtype=np.float64)
     func = _pair_function(measure, use_kernels)
     return np.array([func(a, b, **measure_kwargs) for a, b in zip(list_a, list_b)],
                     dtype=np.float64)
 
 
-def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels):
+def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
+                  thresholds=None):
     """Top-level worker so the process strategy can pickle its tasks."""
-    return _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels)
+    return _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels,
+                         thresholds=thresholds)
 
 
 class MatrixEngine:
@@ -71,7 +106,7 @@ class MatrixEngine:
 
     def __init__(self, strategy: str = "chunked", use_kernels: bool = True,
                  cache: MatrixCache | None = None, chunk_size: int = 128,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None, chunk_bytes: int | None = None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy '{strategy}'; options: {STRATEGIES}")
         if chunk_size <= 0:
@@ -81,10 +116,17 @@ class MatrixEngine:
         self.cache = cache
         self.chunk_size = chunk_size
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        # ``chunk_bytes`` caps the padded DP tensor footprint of one chunk (an
+        # adaptive memory budget complementing the fixed pair-count cap).  None
+        # defers to REPRO_ENGINE_CHUNK_BYTES / the default; <= 0 disables the cap.
+        if chunk_bytes is None:
+            self.chunk_bytes: int | None = _default_chunk_bytes()
+        else:
+            self.chunk_bytes = int(chunk_bytes) if chunk_bytes > 0 else None
 
     def __repr__(self) -> str:
         return (f"MatrixEngine(strategy={self.strategy!r}, use_kernels={self.use_kernels}, "
-                f"chunk_size={self.chunk_size}, "
+                f"chunk_size={self.chunk_size}, chunk_bytes={self.chunk_bytes}, "
                 f"cache={'on' if self.cache is not None else 'off'})")
 
     # ------------------------------------------------------------- matrix API
@@ -130,7 +172,7 @@ class MatrixEngine:
         return matrix
 
     def pairs(self, list_a: Sequence, list_b: Sequence, measure="dtw",
-              **measure_kwargs) -> np.ndarray:
+              thresholds=None, **measure_kwargs) -> np.ndarray:
         """Distances for aligned trajectory pairs ``(list_a[i], list_b[i])``.
 
         This is the refinement primitive of the search subsystem: a top-k query
@@ -138,6 +180,16 @@ class MatrixEngine:
         list rather than a full matrix.  Runs under the configured strategy and
         kernel policy; results are never cached (the pair lists are query-shaped
         and would only pollute the matrix cache).
+
+        ``thresholds`` — optional ``(len(list_a),)`` per-pair abandon thresholds
+        (the kNN heap's τ) forwarded into the batched wavefront kernels, which
+        stop a pair's DP sweep — reporting ``+inf`` — as soon as its running
+        lower bound strictly exceeds its threshold.  Chunked and process
+        strategies slice the vector per chunk (slices ride along to pool
+        workers); the serial strategy threads one threshold per pair.  Measures
+        without a batch kernel (and ``use_kernels=False``) compute full
+        distances, so thresholds are purely an optimisation: a finite result is
+        always the exact distance.
         """
         arrays_a = _point_arrays(list_a)
         arrays_b = _point_arrays(list_b)
@@ -145,8 +197,14 @@ class MatrixEngine:
             raise ValueError("pairs() needs aligned lists of equal length")
         if not arrays_a:
             return np.zeros(0)
+        if thresholds is not None:
+            thresholds = np.asarray(thresholds, dtype=np.float64)
+            if thresholds.shape != (len(arrays_a),):
+                raise ValueError(f"thresholds must have shape ({len(arrays_a)},), "
+                                 f"got {thresholds.shape}")
         positions = np.arange(len(arrays_a))
-        return self._run(arrays_a, arrays_b, positions, positions, measure, measure_kwargs)
+        return self._run(arrays_a, arrays_b, positions, positions, measure,
+                         measure_kwargs, thresholds=thresholds)
 
     def violation_statistics(self, matrix: np.ndarray, max_triplets: int | None = None,
                              seed: int = 0, tolerance: float = 1e-12,
@@ -170,32 +228,81 @@ class MatrixEngine:
             return None
         return cache_key(fingerprint_trajectories(arrays), measure, measure_kwargs, kind)
 
-    def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs) -> np.ndarray:
+    def _plan_chunks(self, order, len_a, len_b) -> list[np.ndarray]:
+        """Split the size-sorted pair order into chunks under both caps.
+
+        A chunk closes at ``chunk_size`` pairs or as soon as adding the next
+        pair would push the padded DP tensor footprint — cost plus table, both
+        float64, every pair padded to the chunk's maximum lengths — past
+        ``chunk_bytes``.  The estimate is ``16·count·(max_n+1)·(max_m+1)``;
+        chunk membership only changes padding, never any pair's arithmetic.
+        ``len_a``/``len_b`` are the per-pair trajectory lengths in the same
+        (unsorted) indexing as ``order``.
+        """
+        if self.chunk_bytes is None:
+            return [order[start:start + self.chunk_size]
+                    for start in range(0, len(order), self.chunk_size)]
+        sorted_n = len_a[order]
+        sorted_m = len_b[order]
+        chunks = []
+        start = 0
+        while start < len(order):
+            cap = min(start + self.chunk_size, len(order))
+            window_n = np.maximum.accumulate(sorted_n[start:cap])
+            window_m = np.maximum.accumulate(sorted_m[start:cap])
+            counts = np.arange(1, cap - start + 1)
+            projected = 16 * counts * (window_n + 1) * (window_m + 1)
+            over = projected > self.chunk_bytes
+            # First pair over budget closes the chunk; a chunk always takes at
+            # least one pair, however tight the budget.
+            take = max(int(np.argmax(over)), 1) if over.any() else cap - start
+            chunks.append(order[start:start + take])
+            start += take
+        return chunks
+
+    def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs,
+             thresholds=None) -> np.ndarray:
         if self.strategy == "serial":
             func = _pair_function(measure, self.use_kernels)
+            # The per-pair kernels expose abandoning as a scalar threshold=;
+            # only a measure whose *resolved* callable is its registered kernel
+            # and that also has a batch kernel (the two are registered together
+            # with threshold support) is known to honour it — the reference
+            # fallback must never see the keyword.
+            if (thresholds is not None and isinstance(measure, str)
+                    and func is get_kernel(measure)
+                    and get_batch_kernel(measure) is not None):
+                return np.array([
+                    func(arrays_a[i], arrays_b[j],
+                         threshold=float(thresholds[index]), **measure_kwargs)
+                    for index, (i, j) in enumerate(zip(rows, cols))
+                ], dtype=np.float64)
             return np.array([func(arrays_a[i], arrays_b[j], **measure_kwargs)
                              for i, j in zip(rows, cols)], dtype=np.float64)
         # Group pairs of similar size into the same chunk: the batch kernels pad every
         # pair in a chunk to the chunk's maximum lengths, so sorting bounds the wasted
         # padded work regardless of how skewed the length distribution is.
-        sizes = np.fromiter((len(arrays_a[i]) * len(arrays_b[j])
-                             for i, j in zip(rows, cols)), dtype=np.int64, count=len(rows))
-        order = np.argsort(sizes, kind="stable")
+        len_a = np.fromiter((len(arrays_a[i]) for i in rows), dtype=np.int64,
+                            count=len(rows))
+        len_b = np.fromiter((len(arrays_b[j]) for j in cols), dtype=np.int64,
+                            count=len(rows))
+        order = np.argsort(len_a * len_b, kind="stable")
         chunks = [
-            (order[start:start + self.chunk_size],
-             [arrays_a[rows[p]] for p in order[start:start + self.chunk_size]],
-             [arrays_b[cols[p]] for p in order[start:start + self.chunk_size]])
-            for start in range(0, len(order), self.chunk_size)
+            (positions,
+             [arrays_a[rows[p]] for p in positions],
+             [arrays_b[cols[p]] for p in positions],
+             None if thresholds is None else thresholds[positions])
+            for positions in self._plan_chunks(order, len_a, len_b)
         ]
         if self.strategy == "chunked" or len(chunks) == 1:
             parts = [(positions, _chunk_values(list_a, list_b, measure, measure_kwargs,
-                                               self.use_kernels))
-                     for positions, list_a, list_b in chunks]
+                                               self.use_kernels, thresholds=taus))
+                     for positions, list_a, list_b, taus in chunks]
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
-                                                   measure_kwargs, self.use_kernels))
-                           for positions, list_a, list_b in chunks]
+                                                   measure_kwargs, self.use_kernels, taus))
+                           for positions, list_a, list_b, taus in chunks]
                 parts = [(positions, future.result()) for positions, future in futures]
         values = np.zeros(len(rows))
         for positions, part in parts:

@@ -19,6 +19,28 @@ the two paths cannot drift apart.
 ``|i - j| > band`` are never opened.  The band is widened to ``|n - m|`` when the two
 sequences differ in length by more than the requested radius, so the result is always
 finite.
+
+**τ-aware early abandoning.**  Every batch kernel accepts ``thresholds``, a
+``(batch,)`` vector of per-pair abandon thresholds (typically the kNN heap's
+running k-th distance τ).  After each anti-diagonal sweep the kernel computes an
+*admissible* per-pair lower bound on the final value from the DP frontier — the
+minimum over the last two diagonals for the min-plus and min-max measures, the
+analogous edit-count / remaining-match bounds for EDR and LCSS — and marks pairs
+whose bound *strictly* exceeds their threshold as abandoned.  Abandoned (and
+finished) pairs are compacted out of the active batch so they stop consuming
+cells; abandoned pairs report ``+inf``.  Because the bound is a true lower bound
+and the comparison is strict, a pair is only abandoned when its exact distance
+provably exceeds its threshold, so consumers that treat ``+inf`` like a pruned
+candidate (``knn_search``) keep bit-identical results.  Survivors run through the
+same per-diagonal arithmetic as the unthresholded sweep, so their values are
+bit-identical too.  ``thresholds=None`` (or all ``+inf``) is a no-op.
+
+The module also keeps a process-local **DP cell-work counter**
+(:func:`dp_cell_count` / :func:`reset_dp_cell_count`): every kernel adds the
+number of DP cells it actually computed, which is how
+``benchmarks/prune_speedup.py`` measures the work early abandoning saves.  The
+counter is per process — chunks dispatched to a ``process``-strategy pool count
+in the workers, not the parent.
 """
 
 from __future__ import annotations
@@ -46,6 +68,8 @@ __all__ = [
     "dita_batch",
     "get_batch_kernel",
     "available_batch_kernels",
+    "dp_cell_count",
+    "reset_dp_cell_count",
 ]
 
 _BATCH_KERNELS: dict[str, callable] = {}
@@ -67,6 +91,27 @@ def get_batch_kernel(name: str):
 def available_batch_kernels() -> list[str]:
     """Names of every measure with a batch kernel."""
     return sorted(_BATCH_KERNELS)
+
+
+# ------------------------------------------------------------ DP cell accounting
+
+_CELL_COUNT = 0
+
+
+def reset_dp_cell_count() -> None:
+    """Zero the process-local counter of DP cells computed by the kernels."""
+    global _CELL_COUNT
+    _CELL_COUNT = 0
+
+
+def dp_cell_count() -> int:
+    """DP cells computed by the kernels in this process since the last reset."""
+    return _CELL_COUNT
+
+
+def _count_cells(cells: int) -> None:
+    global _CELL_COUNT
+    _CELL_COUNT += int(cells)
 
 
 # --------------------------------------------------------------------- helpers
@@ -174,42 +219,405 @@ def _check_batch(a: Sequence, b: Sequence) -> None:
         raise ValueError("batch kernels need at least one trajectory pair")
 
 
+#: Safety slack for in-kernel abandon comparisons.  The remaining-work suffix
+#: sums are rounded differently than the DP recurrence, so a bound can exceed
+#: the true value by a few ulps; abandoning only past ``τ + atol + rtol·|τ|``
+#: keeps exactly-tied candidates (bound == τ) alive under floating point.  The
+#: slack dwarfs accumulated rounding (≲ 1e-13 relative for 1e4-step sums) while
+#: staying far below any meaningful distance gap.
+_ABANDON_ATOL = 1e-10
+_ABANDON_RTOL = 1e-12
+
+
+def _abandon_cutoff(tau):
+    """Threshold vector (or scalar) padded by the floating-point safety slack."""
+    return tau + (_ABANDON_ATOL + _ABANDON_RTOL * np.abs(tau))
+
+
+def _as_thresholds(thresholds, batch: int) -> np.ndarray | None:
+    """Coerce ``thresholds`` to a ``(batch,)`` float vector (scalars broadcast)."""
+    if thresholds is None:
+        return None
+    array = np.asarray(thresholds, dtype=np.float64)
+    if array.ndim == 0:
+        array = np.full(batch, float(array))
+    if array.shape != (batch,):
+        raise ValueError(f"thresholds must be a scalar or a ({batch},) vector, "
+                         f"got shape {array.shape}")
+    return array
+
+
+# ------------------------------------------------- τ-aware abandoning sweep
+
+def _suffix_sums(values: np.ndarray) -> np.ndarray:
+    """(B, n) → (B, n+1) with ``out[:, i] = values[:, i:].sum(axis=1)``."""
+    out = np.zeros((values.shape[0], values.shape[1] + 1))
+    out[:, :-1] = np.cumsum(values[:, ::-1], axis=1)[:, ::-1]
+    return out
+
+
+def _suffix_max(values: np.ndarray) -> np.ndarray:
+    """(B, n) → (B, n+1) with ``out[:, i] = values[:, i:].max(axis=1)`` (0 past the end)."""
+    out = np.zeros((values.shape[0], values.shape[1] + 1))
+    out[:, :-1] = np.maximum.accumulate(values[:, ::-1], axis=1)[:, ::-1]
+    return out
+
+
+def _sweep_abandoning(mode: str, data: np.ndarray, lengths_a: np.ndarray,
+                      lengths_b: np.ndarray, thresholds: np.ndarray,
+                      gap_cost_a: np.ndarray | None = None,
+                      gap_cost_b: np.ndarray | None = None) -> np.ndarray:
+    """Anti-diagonal sweep with per-pair early abandoning and batch compaction.
+
+    ``mode`` selects the recurrence: ``"dtw"`` (min-plus over a cost tensor,
+    shared by DITA), ``"frechet"`` (min-max), ``"erp"`` (min-plus with gap
+    borders), ``"edr"`` / ``"lcss"`` (edit / match counting over a boolean match
+    tensor).  ``data`` is the stacked ``(batch, n, m)`` cost (or match) tensor.
+
+    After sweeping diagonal ``d`` the final cell of every unfinished pair lies
+    strictly beyond the cells with ``i + j ∈ {d−1, d}``, and every monotone DP
+    path must visit one of those cells (steps advance ``i + j`` by 1 or 2), so
+    they form a *cut*.  For the min-plus / min-max measures the accumulated
+    value is non-decreasing along a path, hence the minimum over the cut —
+    restricted to each pair's real ``(≤ n_p, ≤ m_p)`` rectangle and including
+    the real border cells where the table has them (ERP's cumulative gap costs,
+    EDR's edit counts) — lower-bounds the final value.  EDR adds the
+    still-unavoidable ``|remaining length difference|`` edits; LCSS tracks the
+    admissible *upper* bound ``table + min(remaining rows, remaining cols)`` on
+    the final common length, which converts to a lower bound on the distance.
+
+    On top of the cut value, every cut cell ``(i, j)`` adds an admissible
+    *remaining-work* term in the spirit of the UCR suite's cascading bounds.
+    The remaining path still consumes every remaining row and every remaining
+    column, so (taking the larger of the row- and column-side estimates):
+
+    * min-plus (DTW/DITA): each remaining interior row costs at least its
+      row-minimum point cost (restricted to the pair's real columns), and the
+      forced final cell costs exactly ``cost[n_p−1, m_p−1]`` — a suffix sum;
+    * ERP: a remaining row is matched (≥ its row-minimum cost) or gapped
+      (≥ its gap cost), so each contributes the smaller of the two;
+    * Fréchet: the running maximum must still absorb every remaining row's
+      minimum cost — a suffix maximum;
+    * EDR: remaining edits are at least the remaining length difference, the
+      number of remaining rows with no ε-matchable partner, and the final-pair
+      mismatch — combined with ``max``, never summed (they can share steps);
+    * LCSS: the remaining common length is capped by the remaining row/column
+      counts and by the number of remaining rows/columns that are ε-matchable
+      at all.
+
+    The remaining terms only apply to *alive* pairs — their cut lies strictly
+    before the final cell — so a finished pair's last step is never
+    double-counted.
+
+    Pairs whose bound strictly exceeds their threshold are marked dead, as are
+    pairs whose final cell was just computed (their value is recorded).  Once an
+    eighth (or, for the small batches the kNN refiner sends, one) of the
+    physical rows are dead, the batch is compacted so dead pairs stop consuming
+    cells.  Row compaction never changes per-row arithmetic, so surviving pairs
+    match the unthresholded sweep bit for bit.
+
+    Returns the final distances with ``+inf`` for abandoned pairs.
+    """
+    batch, n, m = data.shape
+    la = lengths_a.astype(np.int64)
+    lb = lengths_b.astype(np.int64)
+    tau = _abandon_cutoff(thresholds)
+    if mode in ("dtw", "frechet"):
+        table = np.full((batch, n + 1, m + 1), np.inf)
+        table[:, 0, 0] = 0.0
+    elif mode == "erp":
+        table = np.zeros((batch, n + 1, m + 1))
+        table[:, 1:, 0] = np.cumsum(gap_cost_a, axis=1)
+        table[:, 0, 1:] = np.cumsum(gap_cost_b, axis=1)
+    elif mode == "edr":
+        table = np.zeros((batch, n + 1, m + 1))
+        table[:, :, 0] = np.arange(n + 1)
+        table[:, 0, :] = np.arange(m + 1)
+    elif mode == "lcss":
+        # Float table: the counts are small integers, exactly representable, so
+        # the final 1 − common/shorter matches the int64 path bit for bit.
+        table = np.zeros((batch, n + 1, m + 1))
+    else:
+        raise ValueError(f"unknown sweep mode '{mode}'")
+    flat = _flatten(table)
+    flat_data = _flatten(data)
+    out = np.full(batch, np.inf)
+    positions = np.arange(batch)
+    alive = np.ones(batch, dtype=bool)
+    shorter = np.minimum(la, lb).astype(np.float64) if mode == "lcss" else None
+    # Remaining-work suffix arrays (see the docstring): ``row_rem[:, i]`` is an
+    # admissible estimate of the cost the path still pays after a cut cell in
+    # table row ``i`` (column twin ``col_rem[:, j]``), indexed 0..n / 0..m.
+    rows_idx = np.arange(batch)
+    row_valid = np.arange(n)[None, :] < la[:, None]
+    col_valid = np.arange(m)[None, :] < lb[:, None]
+    if mode in ("dtw", "frechet", "erp"):
+        rowmin = np.where(col_valid[:, None, :], data, np.inf).min(axis=2)
+        colmin = np.where(row_valid[:, :, None], data, np.inf).min(axis=1)
+        tail = data[rows_idx, la - 1, lb - 1]
+    if mode == "dtw":
+        # Interior rows i..la−2 each pay ≥ their row minimum; the forced final
+        # cell pays exactly ``tail``.
+        row_rem = _suffix_sums(
+            np.where(np.arange(n)[None, :] < (la - 1)[:, None], rowmin, 0.0))
+        row_rem += tail[:, None]
+        col_rem = _suffix_sums(
+            np.where(np.arange(m)[None, :] < (lb - 1)[:, None], colmin, 0.0))
+        col_rem += tail[:, None]
+    elif mode == "erp":
+        row_rem = _suffix_sums(
+            np.where(row_valid, np.minimum(rowmin, gap_cost_a), 0.0))
+        col_rem = _suffix_sums(
+            np.where(col_valid, np.minimum(colmin, gap_cost_b), 0.0))
+    elif mode == "frechet":
+        row_rem = _suffix_max(
+            np.where(np.arange(n)[None, :] < (la - 1)[:, None], rowmin, 0.0))
+        np.maximum(row_rem, tail[:, None], out=row_rem)
+        col_rem = _suffix_max(
+            np.where(np.arange(m)[None, :] < (lb - 1)[:, None], colmin, 0.0))
+        np.maximum(col_rem, tail[:, None], out=col_rem)
+    elif mode == "edr":
+        matchable_rows = (data & col_valid[:, None, :]).any(axis=2)
+        matchable_cols = (data & row_valid[:, :, None]).any(axis=1)
+        row_rem = _suffix_sums(np.where(row_valid & ~matchable_rows, 1.0, 0.0))
+        col_rem = _suffix_sums(np.where(col_valid & ~matchable_cols, 1.0, 0.0))
+        tail = np.where(data[rows_idx, la - 1, lb - 1], 0.0, 1.0)
+    else:  # lcss: remaining common length is capped by ε-matchable rows/columns
+        matchable_rows = (data & col_valid[:, None, :]).any(axis=2)
+        matchable_cols = (data & row_valid[:, :, None]).any(axis=1)
+        row_rem = _suffix_sums(np.where(row_valid & matchable_rows, 1.0, 0.0))
+        col_rem = _suffix_sums(np.where(col_valid & matchable_cols, 1.0, 0.0))
+        tail = None
+    # Pad the suffix arrays past each pair's real lengths with ±inf: a cut cell
+    # outside the pair's rectangle then bounds to ±inf on its own, which lets
+    # the per-diagonal statistics below skip validity masks entirely (an inf
+    # never wins a min, a −inf never wins a max).
+    dead_value = -np.inf if mode == "lcss" else np.inf
+    row_rem[np.arange(n + 1)[None, :] > la[:, None]] = dead_value
+    col_rem[np.arange(m + 1)[None, :] > lb[:, None]] = dead_value
+    # Frontier statistic of diagonal 1 — its only cells are (0, 1) and (1, 0),
+    # real whenever the table stores borders (always, since lengths ≥ 1).
+    if mode in ("dtw", "frechet"):
+        prev_stat = np.full(batch, np.inf)
+    elif mode == "erp":
+        prev_stat = np.minimum(
+            gap_cost_b[:, 0] + np.maximum(row_rem[:, 0], col_rem[:, 1]),
+            gap_cost_a[:, 0] + np.maximum(row_rem[:, 1], col_rem[:, 0]))
+    elif mode == "edr":
+        prev_stat = 1.0 + np.minimum(
+            np.maximum.reduce([np.abs(la - lb + 1).astype(np.float64),
+                               row_rem[:, 0], col_rem[:, 1], tail]),
+            np.maximum.reduce([np.abs(la - lb - 1).astype(np.float64),
+                               row_rem[:, 1], col_rem[:, 0], tail]))
+    else:  # lcss: best common count still achievable through diagonal 1
+        prev_stat = np.maximum(
+            np.minimum.reduce([la.astype(np.float64), (lb - 1).astype(np.float64),
+                               row_rem[:, 0], col_rem[:, 1]]),
+            np.minimum.reduce([(la - 1).astype(np.float64), lb.astype(np.float64),
+                               row_rem[:, 1], col_rem[:, 0]]))
+
+    for d, (current, up, left, diagonal, cost_cells, gap_a, gap_b) in enumerate(
+            _diagonal_slices(n, m), start=2):
+        lo, hi = max(1, d - m), min(n, d - 1)
+        i_vec = np.arange(lo, hi + 1)
+        j_vec = d - i_vec
+        _count_cells(flat.shape[0] * len(i_vec))
+        if mode == "dtw":
+            best = np.minimum(flat[:, up], flat[:, left])
+            np.minimum(best, flat[:, diagonal], out=best)
+            best += flat_data[:, cost_cells]
+            flat[:, current] = best
+        elif mode == "frechet":
+            reachable = np.minimum(flat[:, up], flat[:, left])
+            np.minimum(reachable, flat[:, diagonal], out=reachable)
+            np.maximum(reachable, flat_data[:, cost_cells], out=reachable)
+            flat[:, current] = reachable
+        elif mode == "erp":
+            substitution = flat[:, diagonal] + flat_data[:, cost_cells]
+            delete_a = flat[:, up] + gap_cost_a[:, gap_a]
+            delete_b = flat[:, left] + gap_cost_b[:, gap_b]
+            np.minimum(delete_a, delete_b, out=delete_a)
+            np.minimum(substitution, delete_a, out=substitution)
+            flat[:, current] = substitution
+        elif mode == "edr":
+            substitution = flat[:, diagonal] + np.where(flat_data[:, cost_cells],
+                                                        0.0, 1.0)
+            gap = np.minimum(flat[:, up], flat[:, left])
+            gap += 1.0
+            np.minimum(substitution, gap, out=substitution)
+            flat[:, current] = substitution
+        else:  # lcss
+            flat[:, current] = np.where(
+                flat_data[:, cost_cells],
+                flat[:, diagonal] + 1,
+                np.maximum(flat[:, up], flat[:, left]),
+            )
+
+        finishing = alive & (la + lb == d)
+        if finishing.any():
+            rows_idx = np.nonzero(finishing)[0]
+            values = flat[rows_idx, d + la[rows_idx] * m]
+            if mode == "lcss":
+                values = 1.0 - values / shorter[rows_idx]
+            out[positions[rows_idx]] = values
+            alive[finishing] = False
+
+        if alive.any():
+            cur = flat[:, current]
+            row_part = row_rem[:, i_vec]
+            col_part = col_rem[:, j_vec]
+            # No validity masks: cut cells past a pair's real rectangle pick up
+            # ±inf from the padded suffix arrays and drop out of the reduction
+            # (garbage table values stay finite or inf, never NaN).
+            if mode == "lcss":
+                cap = np.minimum.reduce([
+                    (la[:, None] - i_vec[None, :]).astype(np.float64),
+                    (lb[:, None] - j_vec[None, :]).astype(np.float64),
+                    row_part, col_part])
+                stat = (cur + cap).max(axis=1)
+                if d <= m:
+                    border = np.minimum.reduce([
+                        la.astype(np.float64), (lb - d).astype(np.float64),
+                        row_rem[:, 0], col_rem[:, d]])
+                    np.maximum(stat, border, out=stat)
+                if d <= n:
+                    border = np.minimum.reduce([
+                        (la - d).astype(np.float64), lb.astype(np.float64),
+                        row_rem[:, d], col_rem[:, 0]])
+                    np.maximum(stat, border, out=stat)
+                bound = 1.0 - np.maximum(stat, prev_stat) / shorter
+            elif mode == "edr":
+                remaining = np.maximum.reduce([
+                    np.abs((la[:, None] - i_vec[None, :])
+                           - (lb[:, None] - j_vec[None, :])).astype(np.float64),
+                    row_part, col_part,
+                    np.broadcast_to(tail[:, None], row_part.shape)])
+                stat = (cur + remaining).min(axis=1)
+                if d <= m:
+                    border = d + np.maximum.reduce([
+                        np.abs(la - lb + d).astype(np.float64),
+                        row_rem[:, 0], col_rem[:, d], tail])
+                    np.minimum(stat, border, out=stat)
+                if d <= n:
+                    border = d + np.maximum.reduce([
+                        np.abs(la - d - lb).astype(np.float64),
+                        row_rem[:, d], col_rem[:, 0], tail])
+                    np.minimum(stat, border, out=stat)
+                bound = np.minimum(stat, prev_stat)
+            elif mode == "frechet":
+                stat = np.maximum(cur, np.maximum(row_part, col_part)).min(axis=1)
+                bound = np.minimum(stat, prev_stat)
+            else:  # dtw / erp: min-plus with additive remaining work
+                stat = (cur + np.maximum(row_part, col_part)).min(axis=1)
+                if mode == "erp":
+                    if d <= m:
+                        np.minimum(stat, flat[:, d]
+                                   + np.maximum(row_rem[:, 0], col_rem[:, d]),
+                                   out=stat)
+                    if d <= n:
+                        np.minimum(stat, flat[:, d * (m + 1)]
+                                   + np.maximum(row_rem[:, d], col_rem[:, 0]),
+                                   out=stat)
+                bound = np.minimum(stat, prev_stat)
+            prev_stat = stat
+            dead = alive & (bound > tau)
+            if dead.any():
+                alive[dead] = False
+
+        if not alive.any():
+            return out
+        dead_rows = alive.size - int(np.count_nonzero(alive))
+        if dead_rows and dead_rows * 8 >= alive.size:
+            keep = alive
+            flat = flat[keep]
+            flat_data = flat_data[keep]
+            la, lb = la[keep], lb[keep]
+            tau = tau[keep]
+            positions = positions[keep]
+            prev_stat = prev_stat[keep]
+            row_rem = row_rem[keep]
+            col_rem = col_rem[keep]
+            if tail is not None:
+                tail = tail[keep]
+            if gap_cost_a is not None:
+                gap_cost_a = gap_cost_a[keep]
+                gap_cost_b = gap_cost_b[keep]
+            if shorter is not None:
+                shorter = shorter[keep]
+            alive = np.ones(flat.shape[0], dtype=bool)
+    return out
+
+
 # ------------------------------------------------------------------------- DTW
 
-def _dtw_single_banded(cost: np.ndarray, band: int) -> float:
-    """Wavefront DTW restricted to the Sakoe–Chiba band ``|i - j| ≤ band``."""
+def _dtw_single_banded(cost: np.ndarray, band: int,
+                       threshold: float = np.inf) -> float:
+    """Wavefront DTW restricted to the Sakoe–Chiba band ``|i - j| ≤ band``.
+
+    ``threshold`` enables τ-aware abandoning: after each diagonal, the minimum
+    over the last two diagonals' in-band cells lower-bounds the final value
+    (in-band cells cut every warping path), so the sweep stops — returning
+    ``+inf`` — as soon as that bound strictly exceeds the threshold.
+    """
     n, m = cost.shape
     band = max(int(band), abs(n - m))
     table = np.full((n + 1, m + 1), np.inf)
     table[0, 0] = 0.0
+    cutoff = _abandon_cutoff(threshold)
+    if np.isfinite(threshold):
+        # Remaining-work suffixes, as in the batch sweep: interior rows/columns
+        # each still pay their minimum cost, the forced final cell pays exactly.
+        tail = float(cost[n - 1, m - 1])
+        row_rem = np.full(n + 1, tail)
+        if n >= 2:
+            row_rem[:n - 1] += np.cumsum(cost.min(axis=1)[n - 2::-1])[::-1]
+        col_rem = np.full(m + 1, tail)
+        if m >= 2:
+            col_rem[:m - 1] += np.cumsum(cost.min(axis=0)[m - 2::-1])[::-1]
+    previous_stat = np.inf
     for i, j in _anti_diagonals(n, m):
         keep = np.abs(i - j) <= band
         if not keep.any():
             continue
         i, j = i[keep], j[keep]
+        _count_cells(len(i))
         best = np.minimum(table[i - 1, j], np.minimum(table[i, j - 1], table[i - 1, j - 1]))
-        table[i, j] = cost[i - 1, j - 1] + best
+        values = cost[i - 1, j - 1] + best
+        table[i, j] = values
+        if i[-1] == n and j[-1] == m:
+            break  # final cell reached: the value is exact, no bound applies
+        if np.isfinite(threshold):
+            stat = float((values + np.maximum(row_rem[i], col_rem[j])).min())
+            if min(stat, previous_stat) > cutoff:
+                return np.inf
+            previous_stat = stat
     return float(table[n, m])
 
 
 @_register_batch("dtw")
 def dtw_batch(trajectories_a: Sequence, trajectories_b: Sequence,
-              band: int | None = None) -> np.ndarray:
+              band: int | None = None, thresholds=None) -> np.ndarray:
     """DTW distances for a batch of trajectory pairs."""
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     arrays_a = _spatial_batch(trajectories_a)
     arrays_b = _spatial_batch(trajectories_b)
     if band is not None:
         # The band geometry depends on each pair's lengths, so banded DTW runs the
         # per-pair wavefront instead of the stacked sweep.
+        taus = np.full(len(arrays_a), np.inf) if thresholds is None else thresholds
         return np.array([
-            _dtw_single_banded(_euclidean_cost(a[None], b[None])[0], band)
-            for a, b in zip(arrays_a, arrays_b)
+            _dtw_single_banded(_euclidean_cost(a[None], b[None])[0], band,
+                               threshold=tau)
+            for a, b, tau in zip(arrays_a, arrays_b, taus)
         ])
     a, lengths_a = _pad_points(arrays_a)
     b, lengths_b = _pad_points(arrays_b)
     cost = _euclidean_cost(a, b)
+    if thresholds is not None:
+        return _sweep_abandoning("dtw", cost, lengths_a, lengths_b, thresholds)
     batch, n, m = cost.shape
+    _count_cells(batch * n * m)
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)
@@ -222,25 +630,33 @@ def dtw_batch(trajectories_a: Sequence, trajectories_b: Sequence,
 
 
 @register_kernel("dtw")
-def dtw_kernel(trajectory_a, trajectory_b, band: int | None = None) -> float:
+def dtw_kernel(trajectory_a, trajectory_b, band: int | None = None,
+               threshold: float | None = None) -> float:
     """Vectorized (optionally banded) DTW distance between two trajectories."""
-    return float(dtw_batch([trajectory_a], [trajectory_b], band=band)[0])
+    thresholds = None if threshold is None else [threshold]
+    return float(dtw_batch([trajectory_a], [trajectory_b], band=band,
+                           thresholds=thresholds)[0])
 
 
 # ------------------------------------------------------------------------- ERP
 
 @_register_batch("erp")
 def erp_batch(trajectories_a: Sequence, trajectories_b: Sequence,
-              gap=None) -> np.ndarray:
+              gap=None, thresholds=None) -> np.ndarray:
     """ERP distances for a batch of trajectory pairs."""
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     gap_point = np.zeros(2) if gap is None else np.asarray(gap, dtype=np.float64)[:2]
     a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
     b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
     gap_cost_a = np.sqrt(((a - gap_point) ** 2).sum(axis=-1))
     gap_cost_b = np.sqrt(((b - gap_point) ** 2).sum(axis=-1))
     cost = _euclidean_cost(a, b)
+    if thresholds is not None:
+        return _sweep_abandoning("erp", cost, lengths_a, lengths_b, thresholds,
+                                 gap_cost_a=gap_cost_a, gap_cost_b=gap_cost_b)
     batch, n, m = cost.shape
+    _count_cells(batch * n * m)
     table = np.zeros((batch, n + 1, m + 1))
     table[:, 1:, 0] = np.cumsum(gap_cost_a, axis=1)
     table[:, 0, 1:] = np.cumsum(gap_cost_b, axis=1)
@@ -256,9 +672,12 @@ def erp_batch(trajectories_a: Sequence, trajectories_b: Sequence,
 
 
 @register_kernel("erp")
-def erp_kernel(trajectory_a, trajectory_b, gap=None) -> float:
+def erp_kernel(trajectory_a, trajectory_b, gap=None,
+               threshold: float | None = None) -> float:
     """Vectorized ERP distance with reference (gap) point ``gap``."""
-    return float(erp_batch([trajectory_a], [trajectory_b], gap=gap)[0])
+    thresholds = None if threshold is None else [threshold]
+    return float(erp_batch([trajectory_a], [trajectory_b], gap=gap,
+                           thresholds=thresholds)[0])
 
 
 # ------------------------------------------------------------------- EDR, LCSS
@@ -279,15 +698,19 @@ def _match_tensor(a: np.ndarray, b: np.ndarray, epsilon: float) -> np.ndarray:
 
 @_register_batch("edr")
 def edr_batch(trajectories_a: Sequence, trajectories_b: Sequence,
-              epsilon: float = 0.25) -> np.ndarray:
+              epsilon: float = 0.25, thresholds=None) -> np.ndarray:
     """EDR distances for a batch of trajectory pairs."""
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
     b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
     match = _match_tensor(a, b, epsilon)
+    if thresholds is not None:
+        return _sweep_abandoning("edr", match, lengths_a, lengths_b, thresholds)
     batch, n, m = match.shape
+    _count_cells(batch * n * m)
     table = np.zeros((batch, n + 1, m + 1))
     table[:, :, 0] = np.arange(n + 1)
     table[:, 0, :] = np.arange(m + 1)
@@ -302,24 +725,31 @@ def edr_batch(trajectories_a: Sequence, trajectories_b: Sequence,
 
 
 @register_kernel("edr")
-def edr_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+def edr_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25,
+               threshold: float | None = None) -> float:
     """Vectorized EDR distance with matching threshold ``epsilon``."""
-    return float(edr_batch([trajectory_a], [trajectory_b], epsilon=epsilon)[0])
+    thresholds = None if threshold is None else [threshold]
+    return float(edr_batch([trajectory_a], [trajectory_b], epsilon=epsilon,
+                           thresholds=thresholds)[0])
 
 
 @_register_batch("lcss")
 def lcss_batch(trajectories_a: Sequence, trajectories_b: Sequence,
-               epsilon: float = 0.25) -> np.ndarray:
+               epsilon: float = 0.25, thresholds=None) -> np.ndarray:
     """LCSS distances (``1 − LCSS/min(n, m)``) for a batch of trajectory pairs."""
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     arrays_a = _spatial_batch(trajectories_a)
     arrays_b = _spatial_batch(trajectories_b)
     a, lengths_a = _pad_points(arrays_a)
     b, lengths_b = _pad_points(arrays_b)
     match = _match_tensor(a, b, epsilon)
+    if thresholds is not None:
+        return _sweep_abandoning("lcss", match, lengths_a, lengths_b, thresholds)
     batch, n, m = match.shape
+    _count_cells(batch * n * m)
     table = np.zeros((batch, n + 1, m + 1), dtype=np.int64)
     flat, flat_match = _flatten(table), _flatten(match)
     for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
@@ -334,15 +764,19 @@ def lcss_batch(trajectories_a: Sequence, trajectories_b: Sequence,
 
 
 @register_kernel("lcss")
-def lcss_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25) -> float:
+def lcss_kernel(trajectory_a, trajectory_b, epsilon: float = 0.25,
+                threshold: float | None = None) -> float:
     """Vectorized LCSS distance in ``[0, 1]``."""
-    return float(lcss_batch([trajectory_a], [trajectory_b], epsilon=epsilon)[0])
+    thresholds = None if threshold is None else [threshold]
+    return float(lcss_batch([trajectory_a], [trajectory_b], epsilon=epsilon,
+                            thresholds=thresholds)[0])
 
 
 # --------------------------------------------------------------------- Fréchet
 
 @_register_batch("frechet")
-def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence) -> np.ndarray:
+def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence,
+                  thresholds=None) -> np.ndarray:
     """Discrete Fréchet distances for a batch of trajectory pairs.
 
     Uses the padded-table formulation: with an ``inf`` border and a single zero
@@ -350,10 +784,14 @@ def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence) -> np.ndar
     reproduces the reference's explicit first-row/column cumulative maxima.
     """
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     a, lengths_a = _pad_points(_spatial_batch(trajectories_a))
     b, lengths_b = _pad_points(_spatial_batch(trajectories_b))
     cost = _euclidean_cost(a, b)
+    if thresholds is not None:
+        return _sweep_abandoning("frechet", cost, lengths_a, lengths_b, thresholds)
     batch, n, m = cost.shape
+    _count_cells(batch * n * m)
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)
@@ -366,18 +804,23 @@ def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence) -> np.ndar
 
 
 @register_kernel("frechet")
-def frechet_kernel(trajectory_a, trajectory_b) -> float:
+def frechet_kernel(trajectory_a, trajectory_b,
+                   threshold: float | None = None) -> float:
     """Vectorized discrete Fréchet distance."""
-    return float(frechet_batch([trajectory_a], [trajectory_b])[0])
+    thresholds = None if threshold is None else [threshold]
+    return float(frechet_batch([trajectory_a], [trajectory_b],
+                               thresholds=thresholds)[0])
 
 
 # ------------------------------------------------------------------------ DITA
 
 @_register_batch("dita")
 def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
-               lambda_spatial: float = 0.5, time_scale: float = 1.0) -> np.ndarray:
+               lambda_spatial: float = 0.5, time_scale: float = 1.0,
+               thresholds=None) -> np.ndarray:
     """DITA spatio-temporal distances for a batch of trajectory pairs."""
     _check_batch(trajectories_a, trajectories_b)
+    thresholds = _as_thresholds(thresholds, len(trajectories_a))
     arrays_a = _spatiotemporal_batch(trajectories_a, "dita_distance")
     arrays_b = _spatiotemporal_batch(trajectories_b, "dita_distance")
     a, lengths_a = _pad_points(arrays_a)
@@ -387,7 +830,11 @@ def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         spatiotemporal_point_cost(a[index], b[index], lambda_spatial, time_scale)
         for index in range(batch)
     ])
+    if thresholds is not None:
+        # DITA shares DTW's min-plus recurrence over its blended cost tensor.
+        return _sweep_abandoning("dtw", cost, lengths_a, lengths_b, thresholds)
     _, n, m = cost.shape
+    _count_cells(batch * n * m)
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)
@@ -401,7 +848,9 @@ def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
 
 @register_kernel("dita")
 def dita_kernel(trajectory_a, trajectory_b, lambda_spatial: float = 0.5,
-                time_scale: float = 1.0) -> float:
+                time_scale: float = 1.0, threshold: float | None = None) -> float:
     """Vectorized DITA spatio-temporal distance."""
+    thresholds = None if threshold is None else [threshold]
     return float(dita_batch([trajectory_a], [trajectory_b],
-                            lambda_spatial=lambda_spatial, time_scale=time_scale)[0])
+                            lambda_spatial=lambda_spatial, time_scale=time_scale,
+                            thresholds=thresholds)[0])

@@ -128,6 +128,9 @@ class StackedSummaries:
     min-over-pieces), endpoints and coordinate sums become ``(C, d)`` arrays,
     and all candidate points are concatenated with ``offsets`` delimiting each
     trajectory for ``ufunc.reduceat`` per-candidate reductions.
+    ``seg_starts``/``seg_ends`` keep each piece's inclusive point range (padded
+    the same way) so window-restricted bounds — banded DTW's sliding envelope —
+    can intersect pieces with per-row windows without unstacking.
     """
 
     lengths: np.ndarray
@@ -136,6 +139,8 @@ class StackedSummaries:
     point_sums: np.ndarray
     seg_mins: np.ndarray
     seg_maxs: np.ndarray
+    seg_starts: np.ndarray
+    seg_ends: np.ndarray
     points: np.ndarray
     offsets: np.ndarray
 
@@ -156,12 +161,18 @@ class StackedSummaries:
         count = len(arrays)
         seg_mins = np.empty((count, pieces, width))
         seg_maxs = np.empty((count, pieces, width))
+        seg_starts = np.empty((count, pieces), dtype=np.int64)
+        seg_ends = np.empty((count, pieces), dtype=np.int64)
         for row, summary in enumerate(summaries):
             own = len(summary.segment_starts)
             seg_mins[row, :own] = summary.seg_mins
             seg_maxs[row, :own] = summary.seg_maxs
             seg_mins[row, own:] = summary.seg_mins[-1]
             seg_maxs[row, own:] = summary.seg_maxs[-1]
+            seg_starts[row, :own] = summary.segment_starts
+            seg_ends[row, :own] = summary.segment_ends
+            seg_starts[row, own:] = summary.segment_starts[-1]
+            seg_ends[row, own:] = summary.segment_ends[-1]
         lengths = np.array([summary.length for summary in summaries], dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(lengths)])
         return StackedSummaries(
@@ -171,6 +182,8 @@ class StackedSummaries:
             point_sums=np.stack([summary.point_sum for summary in summaries]),
             seg_mins=seg_mins,
             seg_maxs=seg_maxs,
+            seg_starts=seg_starts,
+            seg_ends=seg_ends,
             points=np.concatenate(arrays, axis=0),
             offsets=offsets,
         )
@@ -587,13 +600,58 @@ def _interior_sums(values: np.ndarray, offsets: np.ndarray,
     return np.where(lengths > 2, sums, 0.0)
 
 
+def _batch_lb_dtw_banded(a: np.ndarray, stacked: StackedSummaries,
+                         band: int) -> np.ndarray:
+    """Windowed batch twin of banded :func:`lb_dtw` over the stacked envelopes.
+
+    Mirrors the scalar sliding-envelope bound: query row ``i`` may only couple
+    with candidate columns ``|i − j| ≤ r_c`` (``r_c = max(band, |n − m_c|)``),
+    so only pieces intersecting that window — ``seg_end ≥ window_low`` and
+    ``seg_start ≤ window_high``, exactly the scalar ``searchsorted`` range —
+    contribute to each row's minimum.  Padded duplicate pieces repeat the last
+    real piece's box *and* range, so they never change the windowed minimum.
+    """
+    n = len(a)
+    first = np.linalg.norm(stacked.firsts[:, :2] - a[0], axis=-1)
+    last = np.linalg.norm(stacked.lasts[:, :2] - a[-1], axis=-1)
+    count = len(stacked)
+    interior = np.zeros(count)
+    if n > 2:
+        rows = np.arange(1, n - 1)
+        radius = np.maximum(int(band), np.abs(n - stacked.lengths))
+        pieces = stacked.seg_mins.shape[1]
+        block = max(1, _BATCH_CHUNK_ELEMENTS // max((n - 2) * pieces, 1))
+        inner = a[1:-1]
+        for start in range(0, count, block):
+            stop = min(start + block, count)
+            delta = np.maximum(
+                np.maximum(stacked.seg_mins[None, start:stop, :, :2]
+                           - inner[:, None, None, :],
+                           inner[:, None, None, :]
+                           - stacked.seg_maxs[None, start:stop, :, :2]), 0.0)
+            gaps = np.sqrt((delta ** 2).sum(axis=-1))  # (n-2, block, S)
+            window_low = np.maximum(rows[:, None] - radius[None, start:stop], 0)
+            window_high = np.minimum(rows[:, None] + radius[None, start:stop],
+                                     stacked.lengths[None, start:stop] - 1)
+            allowed = ((stacked.seg_ends[None, start:stop, :]
+                        >= window_low[:, :, None])
+                       & (stacked.seg_starts[None, start:stop, :]
+                          <= window_high[:, :, None]))
+            interior[start:stop] = np.where(allowed, gaps, np.inf) \
+                .min(axis=-1).sum(axis=0)
+    values = first + interior + last
+    if n == 1:
+        values = np.where(stacked.lengths == 1, first, values)
+    return values
+
+
 @register_batch_lower_bound("dtw")
 def batch_lb_dtw(query, stacked: StackedSummaries,
                  query_summary: TrajectorySummary, band: int | None = None
                  ) -> np.ndarray | None:
-    """Batch twin of :func:`lb_dtw` (unbanded only; banded uses the fallback)."""
+    """Batch twin of :func:`lb_dtw` (banded via the windowed stacked envelopes)."""
     if band is not None:
-        return None
+        return _batch_lb_dtw_banded(as_points(query), stacked, band)
     a = as_points(query)
     n = len(a)
     first = np.linalg.norm(stacked.firsts[:, :2] - a[0], axis=-1)

@@ -8,6 +8,15 @@ best-so-far heap tracks the current k-th distance τ.  As soon as the next bound
 exceeds τ the remaining candidates are abandoned: their true distances can only
 be larger, so the pruned tail provably contains no neighbour.
 
+Refinement is itself τ-aware: once the heap is full, every refinement batch
+carries per-pair abandon thresholds (the current τ) down through
+``MatrixEngine.pairs`` into the wavefront kernels, which stop a candidate's DP
+sweep — reporting ``+inf`` — the moment its running in-kernel lower bound
+strictly exceeds τ.  The full cascade is bound → τ-sorted batch → in-kernel
+abandon.  An abandoned candidate is treated exactly like one pruned by its
+bound: its true distance provably exceeds τ (and τ only shrinks), so it can
+never belong to the final top-k.
+
 The result is **identical** to ``knn_from_matrix`` on the full cross matrix,
 including tie-breaking: candidates are only abandoned when their bound is
 *strictly* above τ, and refined survivors are ordered by ``(distance, index)`` —
@@ -25,7 +34,16 @@ import numpy as np
 
 from .index import TrajectoryIndex
 
-__all__ = ["SearchStats", "SearchResult", "knn_search"]
+__all__ = ["SearchStats", "SearchResult", "knn_search", "DEFAULT_ABANDON_MEASURES"]
+
+#: Measures where in-kernel abandoning is on by default (``abandon=None``).
+#: The bound arithmetic costs roughly one extra sweep per anti-diagonal, so it
+#: pays off where the in-kernel bound is strong or cheap — the min-plus
+#: cost measures (DTW, DITA) and Fréchet's min-max — and is opt-in for the
+#: edit/gap measures (ERP, EDR, LCSS), whose border-heavy bounds cost more
+#: wall-clock than their weaker pruning saves on typical workloads.  Cell-work
+#: always shrinks either way; this default trades on latency.
+DEFAULT_ABANDON_MEASURES = frozenset({"dtw", "dita", "frechet"})
 
 
 @dataclass
@@ -36,6 +54,7 @@ class SearchStats:
     num_candidates: int = 0
     num_refined: int = 0
     num_pruned: int = 0
+    num_abandoned: int = 0
     num_batches: int = 0
     lower_bound_seconds: float = 0.0
     refine_seconds: float = 0.0
@@ -53,6 +72,7 @@ class SearchStats:
         self.num_candidates += other.num_candidates
         self.num_refined += other.num_refined
         self.num_pruned += other.num_pruned
+        self.num_abandoned += other.num_abandoned
         self.num_batches += other.num_batches
         self.lower_bound_seconds += other.lower_bound_seconds
         self.refine_seconds += other.refine_seconds
@@ -63,6 +83,7 @@ class SearchStats:
             "num_candidates": self.num_candidates,
             "num_refined": self.num_refined,
             "num_pruned": self.num_pruned,
+            "num_abandoned": self.num_abandoned,
             "num_batches": self.num_batches,
             "pruned_fraction": self.pruned_fraction,
             "lower_bound_seconds": self.lower_bound_seconds,
@@ -94,7 +115,7 @@ def _normalise_exclude(exclude) -> frozenset[int]:
 
 def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = "dtw",
                engine=None, batch_size: int = 8, exclude=None,
-               **measure_kwargs) -> SearchResult:
+               abandon: bool | None = None, **measure_kwargs) -> SearchResult:
     """Exact k nearest neighbours of ``query`` under a registered measure.
 
     Parameters
@@ -117,6 +138,13 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
     exclude:
         Index / indices never returned (e.g. the query itself when it belongs to
         the database) — the counterpart of ``knn_from_matrix(exclude_self=True)``.
+    abandon:
+        Whether refinement batches carry the heap's τ into the kernels as
+        per-pair abandon thresholds (in-kernel early abandoning).  ``None``
+        defers to :data:`DEFAULT_ABANDON_MEASURES`; ``False`` always computes
+        full DP tables — the baseline of ``benchmarks/prune_speedup.py``.
+        Either way the result is identical; abandoning only changes how much
+        of a losing candidate's table is built.
     """
     if not isinstance(index, TrajectoryIndex):
         index = TrajectoryIndex(index)
@@ -128,6 +156,8 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         raise ValueError("k must be positive")
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    if abandon is None:
+        abandon = isinstance(measure, str) and measure.lower() in DEFAULT_ABANDON_MEASURES
     excluded = _normalise_exclude(exclude)
     num_candidates = sum(1 for i in range(len(index)) if i not in excluded)
     if k > num_candidates:
@@ -146,6 +176,7 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
     refined: list[tuple[float, int]] = []
     refine_seconds = 0.0
     num_batches = 0
+    num_abandoned = 0
     position = 0
     while position < len(order):
         tau = -heap[0][0] if len(heap) == k else np.inf
@@ -156,12 +187,19 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
             position += 1
         if not batch:
             break  # every remaining bound is strictly above τ — abandon the tail
+        # With a full heap, refine under per-pair abandon thresholds: a pair whose
+        # in-kernel lower bound exceeds τ comes back as +inf, which — because τ
+        # only shrinks — can never displace a heap entry nor reach the top-k.
+        thresholds = (np.full(len(batch), tau)
+                      if abandon and np.isfinite(tau) else None)
         start = time.perf_counter()
         distances = engine.pairs([query_points] * len(batch),
                                  [index.arrays[i] for i in batch],
-                                 measure, **measure_kwargs)
+                                 measure, thresholds=thresholds, **measure_kwargs)
         refine_seconds += time.perf_counter() - start
         num_batches += 1
+        if thresholds is not None:
+            num_abandoned += int(np.isinf(distances).sum())
         for candidate, distance in zip(batch, distances):
             distance = float(distance)
             refined.append((distance, candidate))
@@ -178,6 +216,7 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         num_candidates=len(order),
         num_refined=len(refined),
         num_pruned=len(order) - len(refined),
+        num_abandoned=num_abandoned,
         num_batches=num_batches,
         lower_bound_seconds=lower_bound_seconds,
         refine_seconds=refine_seconds,

@@ -74,10 +74,11 @@ class SearchService:
     def __init__(self, index: TrajectoryIndex | Sequence, measure: str = "dtw",
                  k: int = 10, engine=None, batch_size: int | None = None,
                  refine_batch_size: int = 8, cache_entries: int = 256,
-                 **measure_kwargs):
+                 abandon: bool | None = None, **measure_kwargs):
         self.index = index if isinstance(index, TrajectoryIndex) else TrajectoryIndex(index)
         self.measure = measure
         self.default_k = k
+        self.abandon = abandon
         if engine is None:
             from ..engine import get_default_engine
 
@@ -147,7 +148,8 @@ class SearchService:
                     result = knn_search(self.index, query, k, measure=self.measure,
                                         engine=self.engine,
                                         batch_size=self.refine_batch_size,
-                                        exclude=exclude, **self.measure_kwargs)
+                                        exclude=exclude, abandon=self.abandon,
+                                        **self.measure_kwargs)
                 except Exception as error:  # a bad query must not orphan its batch
                     handle._error = error
                     continue

@@ -76,12 +76,18 @@ class SimilarityTrainer:
         Whether optimisation steps run through the mask-aware batched forward
         (``encode_batch`` + batched plugin distances) or the per-sample parity
         path.  ``None`` defers to :func:`default_train_batched`.
+    length_buckets:
+        With a value > 1, each epoch's pairs are grouped into that many
+        quantile buckets of max sequence length (see
+        :class:`~repro.training.sampling.PairSampler`), so padded batch tensors
+        waste less work on skewed datasets.  0 (default) keeps the plain
+        shuffled order; the multiset of sampled pairs is identical either way.
     """
 
     def __init__(self, encoder, plugin: LHPlugin | None = None, learning_rate: float = 5e-3,
                  batch_size: int = 16, num_nearest: int = 5, num_random: int = 5,
                  loss: str = "mse", clip_norm: float = 5.0, seed: int = 0,
-                 batched: bool | None = None):
+                 batched: bool | None = None, length_buckets: int = 0):
         if loss not in _LOSSES:
             raise ValueError(f"unknown loss '{loss}'; options: {sorted(_LOSSES)}")
         self.encoder = encoder
@@ -89,6 +95,7 @@ class SimilarityTrainer:
         self.batch_size = max(batch_size, 1)
         self.num_nearest = num_nearest
         self.num_random = num_random
+        self.length_buckets = int(length_buckets)
         self.loss_name = loss
         self.loss_fn = _LOSSES[loss]
         self.clip_norm = clip_norm
@@ -189,7 +196,12 @@ class SimilarityTrainer:
                 f"over exactly this dataset")
         prepared = self.encoder.prepare_dataset(dataset)
         point_sequences = self._point_sequences(dataset)
-        sampler = PairSampler(target_matrix, self.num_nearest, self.num_random, seed=self.seed)
+        lengths = None
+        if self.length_buckets > 1:
+            lengths = [len(np.asarray(getattr(t, "points", t))) for t in dataset]
+        sampler = PairSampler(target_matrix, self.num_nearest, self.num_random,
+                              seed=self.seed, lengths=lengths,
+                              length_buckets=self.length_buckets)
 
         for epoch in range(1, epochs + 1):
             pairs = sampler.epoch_pairs()

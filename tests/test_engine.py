@@ -55,6 +55,71 @@ class TestEngineConfiguration:
             set_default_engine(None)
 
 
+class TestChunkByteBudget:
+    def test_default_budget_and_env_override(self, monkeypatch):
+        assert MatrixEngine().chunk_bytes == executor_module.DEFAULT_CHUNK_BYTES
+        monkeypatch.setenv(executor_module._CHUNK_BYTES_ENV, "4096")
+        assert MatrixEngine().chunk_bytes == 4096
+        monkeypatch.setenv(executor_module._CHUNK_BYTES_ENV, "0")
+        assert MatrixEngine().chunk_bytes is None  # disabled
+        assert MatrixEngine(chunk_bytes=2048).chunk_bytes == 2048
+        assert MatrixEngine(chunk_bytes=-1).chunk_bytes is None
+
+    def test_budget_splits_chunks_without_changing_results(self):
+        rng = np.random.default_rng(5)
+        # Skewed lengths: a few long trajectories dominate the padded footprint.
+        trajectories = [rng.random((length, 2))
+                        for length in (3, 4, 5, 6, 40, 45, 50, 60)]
+        unbounded = MatrixEngine(cache=None, chunk_bytes=-1)
+        tight = MatrixEngine(cache=None, chunk_bytes=100 * 1024)
+        np.testing.assert_array_equal(unbounded.pairwise(trajectories, "dtw"),
+                                      tight.pairwise(trajectories, "dtw"))
+
+    def test_plan_respects_both_caps(self):
+        lengths = np.full(45, 30, dtype=np.int64)
+        order = np.arange(45)
+        # Pair-count cap alone: one chunk of at most chunk_size pairs each.
+        engine = MatrixEngine(cache=None, chunk_size=7, chunk_bytes=-1)
+        plan = engine._plan_chunks(order, lengths, lengths)
+        assert [len(chunk) for chunk in plan] == [7] * 6 + [3]
+        # A byte budget that fits ~4 padded 31x31 tables caps chunks earlier.
+        budget = 16 * 4 * 31 * 31
+        engine = MatrixEngine(cache=None, chunk_size=7, chunk_bytes=budget)
+        plan = engine._plan_chunks(order, lengths, lengths)
+        assert all(len(chunk) <= 4 for chunk in plan)
+        assert np.concatenate(plan).tolist() == order.tolist()
+        # The budget never starves a chunk below one pair, however tight.
+        engine = MatrixEngine(cache=None, chunk_size=7, chunk_bytes=1)
+        plan = engine._plan_chunks(order, lengths, lengths)
+        assert [len(chunk) for chunk in plan] == [1] * 45
+
+    def test_plan_matches_greedy_reference(self):
+        """The vectorized cummax plan equals the pair-at-a-time greedy walk."""
+        rng = np.random.default_rng(8)
+        for trial in range(20):
+            pairs = int(rng.integers(1, 60))
+            len_a = rng.integers(1, 50, size=pairs)
+            len_b = rng.integers(1, 50, size=pairs)
+            order = np.argsort(len_a * len_b, kind="stable")
+            chunk_size = int(rng.integers(1, 12))
+            budget = int(rng.integers(16, 16 * 12 * 51 * 51))
+            engine = MatrixEngine(cache=None, chunk_size=chunk_size,
+                                  chunk_bytes=budget)
+            plan = engine._plan_chunks(order, len_a, len_b)
+            expected, start = [], 0
+            while start < len(order):
+                stop, max_n, max_m = start, 0, 0
+                while stop < len(order) and stop - start < chunk_size:
+                    n = max(max_n, int(len_a[order[stop]]))
+                    m = max(max_m, int(len_b[order[stop]]))
+                    if stop > start and 16 * (stop - start + 1) * (n + 1) * (m + 1) > budget:
+                        break
+                    max_n, max_m, stop = n, m, stop + 1
+                expected.append(order[start:stop].tolist())
+                start = stop
+            assert [chunk.tolist() for chunk in plan] == expected, trial
+
+
 class TestExperimentSettingsEngine:
     def test_explicit_strategy_shares_default_cache(self):
         from repro.experiments.runner import ExperimentSettings

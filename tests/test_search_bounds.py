@@ -182,6 +182,53 @@ def test_batch_bounds_are_sound(with_time_measures=("tp", "dita")):
             assert value >= 0.0
 
 
+def test_banded_dtw_batch_twin_matches_scalar_and_is_sound():
+    """The windowed stacked-envelope bound replaces the per-candidate fallback.
+
+    It must return actual values (not the None fallback sentinel), equal the
+    scalar sliding-envelope bound, and stay below the banded DTW distance.
+    """
+    rng = np.random.default_rng(29)
+    candidates = random_trajectories(rng, with_time=False)
+    stacked = StackedSummaries.of(candidates)
+    scalar = get_lower_bound("dtw")
+    batch = get_batch_lower_bound("dtw")
+    distance = get_distance("dtw")
+    for band in (0, 1, 3, 10):
+        for query in (candidates[0], candidates[4], candidates[-1]):
+            query_summary = TrajectorySummary.of(query)
+            values = batch(query, stacked, query_summary, band=band)
+            assert values is not None
+            reference = np.array([
+                scalar(query, candidate, band=band,
+                       summary=TrajectorySummary.of(candidate),
+                       query_summary=query_summary)
+                for candidate in candidates])
+            np.testing.assert_allclose(values, reference, rtol=1e-10, atol=1e-12,
+                                       err_msg=f"band={band}")
+            for candidate, value in zip(candidates, values):
+                assert value <= distance(query, candidate, band=band) + 1e-9
+
+
+def test_stacked_summaries_keep_piece_ranges():
+    rng = np.random.default_rng(31)
+    arrays = [rng.random((length, 2)) for length in (20, 3, 1)]
+    stacked = StackedSummaries.of(arrays)
+    summaries = [TrajectorySummary.of(array) for array in arrays]
+    pieces = stacked.seg_starts.shape[1]
+    for row, summary in enumerate(summaries):
+        own = len(summary.segment_starts)
+        np.testing.assert_array_equal(stacked.seg_starts[row, :own],
+                                      summary.segment_starts)
+        np.testing.assert_array_equal(stacked.seg_ends[row, :own],
+                                      summary.segment_ends)
+        # Padding repeats the final piece, which never changes a windowed min.
+        assert (stacked.seg_starts[row, own:]
+                == summary.segment_starts[-1]).all()
+        assert (stacked.seg_ends[row, own:] == summary.segment_ends[-1]).all()
+    assert pieces == max(len(s.segment_starts) for s in summaries)
+
+
 def test_stacked_summaries_validation_and_shape():
     rng = np.random.default_rng(19)
     arrays = [rng.random((length, 2)) for length in (3, 11, 1)]
