@@ -1,0 +1,186 @@
+"""Micro-benchmark: zero-copy ``shared`` strategy vs per-call ``process`` pools.
+
+The ``process`` strategy pays two taxes on every ``pairwise`` call: a fresh
+``ProcessPoolExecutor`` and a pickled copy of each chunk's point arrays — for
+a pairwise matrix every trajectory ships once per pair it appears in, an O(n)
+amplification of the real data volume.  The ``shared`` strategy removes both:
+a persistent worker pool plus a packed shared-memory trajectory arena
+published once per call, so chunks carry only integer pair indices.
+
+This benchmark runs the same pairwise workload under both strategies and
+records three things to ``benchmarks/results/parallel_speedup.json``:
+
+* **latency speedup** — median ``process`` seconds / median ``shared``
+  seconds.  The shared pool is warmed once before timing (amortized startup
+  *is* the feature).  The ≥1.5× acceptance floor applies at the full scale
+  (``--size`` ≥ 200) on machines with ≥ 2 usable cores — wall-clock parallel
+  dispatch cannot beat per-call pools on a single-core runner, where both
+  strategies serialize onto the same CPU and only the (recorded) overhead
+  gap separates them;
+* **bytes shipped** — per-call pickled payload under ``process`` versus index
+  metadata + one arena under ``shared``, deterministic, with a ≥8× reduction
+  floor whenever the shared path actually dispatched;
+* **exactness** — both strategies' matrices are asserted *bitwise identical*
+  to the ``serial`` strategy, always.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py [--size 200] [--workers 4]
+
+``--strict`` exits non-zero on an exactness failure or a missed floor whose
+gate applies (mirroring the other speedup benchmarks, whose floors only gate
+at their calibrated scales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import generate_dataset
+from repro.engine import MatrixEngine, shared_memory_available
+from repro.eval import time_callable
+
+RESULTS_PATH = Path(__file__).parent / "results" / "parallel_speedup.json"
+
+#: Minimum acceptable process/shared wall-clock ratio (multi-core, full scale).
+SPEEDUP_FLOOR = 1.5
+#: Minimum acceptable process/shared bytes-shipped ratio (deterministic).
+BYTES_FLOOR = 8.0
+#: Floors are calibrated for this workload scale (matching the other benches).
+FLOOR_SIZE = 200
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def benchmark_measure(trajectories, measure: str, workers: int,
+                      repeats: int, kwargs: dict) -> dict:
+    serial = MatrixEngine(strategy="serial", cache=None)
+    chunked = MatrixEngine(strategy="chunked", cache=None)
+    process = MatrixEngine(strategy="process", cache=None, max_workers=workers)
+    shared = MatrixEngine(strategy="shared", cache=None, max_workers=workers)
+
+    reference = serial.pairwise(trajectories, measure, **kwargs)
+    chunked_matrix = chunked.pairwise(trajectories, measure, **kwargs)
+    process_matrix = process.pairwise(trajectories, measure, **kwargs)
+    shared_matrix = shared.pairwise(trajectories, measure, **kwargs)  # warms the pool
+
+    chunked_s = time_callable(
+        lambda: chunked.pairwise(trajectories, measure, **kwargs), repeats=repeats)
+    process_s = time_callable(
+        lambda: process.pairwise(trajectories, measure, **kwargs), repeats=repeats)
+    shared_s = time_callable(
+        lambda: shared.pairwise(trajectories, measure, **kwargs), repeats=repeats)
+
+    # A workload small enough to fit one chunk never leaves the process under
+    # either strategy (``last_dispatch`` stays None): latency is still
+    # comparable, but there are no shipped bytes to account for.
+    process_dispatch = process.last_dispatch or {"payload_bytes": 0}
+    shared_dispatch = shared.last_dispatch or {"payload_bytes": 0,
+                                               "arena_bytes": 0, "num_chunks": 1}
+    process_bytes = process_dispatch["payload_bytes"]
+    shared_bytes = (shared_dispatch["payload_bytes"]
+                    + shared_dispatch["arena_bytes"])
+    return {
+        "exact_match": bool(np.array_equal(shared_matrix, reference)
+                            and np.array_equal(process_matrix, reference)
+                            and np.array_equal(chunked_matrix, reference)),
+        "chunked_seconds": chunked_s,
+        "process_seconds": process_s,
+        "shared_seconds": shared_s,
+        "speedup": process_s / max(shared_s, 1e-12),
+        "process_payload_bytes": process_bytes,
+        "shared_payload_bytes": shared_dispatch["payload_bytes"],
+        "shared_arena_bytes": shared_dispatch["arena_bytes"],
+        "bytes_reduction": process_bytes / max(shared_bytes, 1),
+        "num_chunks": shared_dispatch["num_chunks"],
+        "shared_memory_used": shared_dispatch["arena_bytes"] > 0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=200,
+                        help="number of trajectories (default 200)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for both parallel strategies (default 4)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--preset", default="chengdu")
+    parser.add_argument("--measures", nargs="+", default=["dtw", "erp"])
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when exactness fails, the bytes-"
+                             "shipped floor is missed, or (at n>=%d with >=2 "
+                             "usable cores) the wall-clock speedup floor is "
+                             "missed" % FLOOR_SIZE)
+    args = parser.parse_args()
+
+    dataset = generate_dataset(args.preset, size=args.size, seed=0)
+    trajectories = dataset.point_arrays(spatial_only=True)
+    kwargs_by_measure = {"edr": {"epsilon": 0.25}, "lcss": {"epsilon": 0.25}}
+
+    cores = usable_cores()
+    rows = {measure: benchmark_measure(trajectories, measure, args.workers,
+                                       args.repeats,
+                                       kwargs_by_measure.get(measure, {}))
+            for measure in args.measures}
+
+    gate_speedup = args.size >= FLOOR_SIZE and cores >= 2
+    record = {
+        "preset": args.preset,
+        "size": args.size,
+        "workers": args.workers,
+        "repeats": args.repeats,
+        "usable_cores": cores,
+        "shared_memory_available": shared_memory_available(),
+        "platform": platform.platform(),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_floor_gated": gate_speedup,
+        "bytes_floor": BYTES_FLOOR,
+        "measures": rows,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(f"n={args.size} ({args.preset}), {args.workers} workers, "
+          f"{cores} usable core(s), median of {args.repeats}")
+    for measure, row in rows.items():
+        print(f"  {measure:8s} process {row['process_seconds']:.3f}s -> "
+              f"shared {row['shared_seconds']:.3f}s ({row['speedup']:.2f}x; "
+              f"chunked {row['chunked_seconds']:.3f}s), shipped "
+              f"{row['process_payload_bytes']:,} -> "
+              f"{row['shared_payload_bytes'] + row['shared_arena_bytes']:,} bytes "
+              f"({row['bytes_reduction']:.0f}x less), exact={row['exact_match']}")
+    print(f"saved {RESULTS_PATH}")
+
+    failures = []
+    for measure, row in rows.items():
+        if not row["exact_match"]:
+            failures.append(f"{measure} not bitwise identical to serial")
+        if row["shared_memory_used"] and row["bytes_reduction"] < BYTES_FLOOR:
+            failures.append(f"{measure} bytes-shipped reduction below {BYTES_FLOOR}x")
+        if gate_speedup and row["speedup"] < SPEEDUP_FLOOR:
+            failures.append(f"{measure} shared speedup over process below "
+                            f"{SPEEDUP_FLOOR}x")
+    if not gate_speedup:
+        reason = (f"size {args.size} < {FLOOR_SIZE}" if args.size < FLOOR_SIZE
+                  else f"only {cores} usable core(s)")
+        print(f"NOTE: speedup floor not gated ({reason}); wall-clock recorded "
+              f"as informational")
+    for failure in failures:
+        print(f"WARNING: {failure}")
+    return 1 if failures and args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

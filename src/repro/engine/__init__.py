@@ -4,9 +4,12 @@ The engine layer sits between the distance measures and everything that consumes
 distance matrices (training, violation analysis, experiments).  It owns:
 
 * :class:`MatrixEngine` — selectable execution strategies (``serial`` reference
-  loop, ``chunked`` batched kernels, ``process`` pool) behind one API;
+  loop, ``chunked`` batched kernels, ``process`` pool, zero-copy ``shared``
+  pool) behind one API;
 * vectorized wavefront kernels for the DP distances (:mod:`repro.engine.kernels`),
   registered alongside the reference implementations;
+* a packed shared-memory trajectory arena and persistent worker pool backing
+  the ``shared`` strategy (:mod:`repro.engine.shared`);
 * a content-addressed matrix cache (:mod:`repro.engine.cache`).
 
 ``get_default_engine()`` returns the process-wide engine used by the thin wrappers
@@ -26,20 +29,34 @@ from .kernels import (
     dita_batch,
     dp_cell_count,
     reset_dp_cell_count,
+    add_dp_cell_count,
 )
 from .executor import (
     STRATEGIES,
     DEFAULT_CHUNK_BYTES,
+    CanonicalArrays,
     MatrixEngine,
+    as_canonical_arrays,
     get_default_engine,
     set_default_engine,
+)
+from .shared import (
+    TrajectoryArena,
+    get_shared_pool,
+    live_arena_names,
+    reset_shared_pool,
+    shared_memory_available,
+    shutdown_shared_pools,
 )
 
 __all__ = [
     "MatrixCache", "cache_key", "fingerprint_trajectories",
     "available_batch_kernels", "get_batch_kernel",
     "dtw_batch", "erp_batch", "edr_batch", "lcss_batch", "frechet_batch", "dita_batch",
-    "dp_cell_count", "reset_dp_cell_count",
+    "dp_cell_count", "reset_dp_cell_count", "add_dp_cell_count",
     "STRATEGIES", "DEFAULT_CHUNK_BYTES", "MatrixEngine",
+    "CanonicalArrays", "as_canonical_arrays",
     "get_default_engine", "set_default_engine",
+    "TrajectoryArena", "shared_memory_available", "get_shared_pool",
+    "reset_shared_pool", "shutdown_shared_pools", "live_arena_names",
 ]

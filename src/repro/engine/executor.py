@@ -14,6 +14,12 @@ configuration knob rather than a code path:
   which amortises NumPy call overhead across the whole chunk.
 * ``process`` — chunks are distributed over a process pool; useful once datasets
   outgrow a single core.  Measures must be picklable (registered names always are).
+* ``shared`` — the zero-copy variant of ``process``: a persistent worker pool
+  (started lazily, reused across calls, shut down via ``atexit`` or
+  :meth:`MatrixEngine.close`) fed through a packed
+  :class:`~repro.engine.shared.TrajectoryArena` — every point array of the call
+  published once through ``multiprocessing.shared_memory``, so each chunk ships
+  only integer pair indices and threshold slices instead of pickled arrays.
 
 Results are cached in an optional :class:`~repro.engine.cache.MatrixCache` keyed by
 the trajectory content fingerprint, the measure and its kwargs.
@@ -21,31 +27,39 @@ the trajectory content fingerprint, the measure and its kwargs.
 Two knobs bound resource use per chunk: ``chunk_size`` caps the pair count, and
 ``chunk_bytes`` (environment variable ``REPRO_ENGINE_CHUNK_BYTES``) caps the
 padded DP tensor footprint, so a handful of very long trajectories cannot blow
-up peak RSS just because they share a chunk.  :meth:`MatrixEngine.pairs`
-additionally forwards per-pair ``thresholds`` into the τ-aware batch kernels —
-the refinement half of the search subsystem's bound → τ → in-kernel-abandon
-cascade.
+up peak RSS just because they share a chunk.  ``max_workers`` (environment
+variable ``REPRO_ENGINE_MAX_WORKERS``) sizes the ``process``/``shared`` pools.
+:meth:`MatrixEngine.pairs` additionally forwards per-pair ``thresholds`` into
+the τ-aware batch kernels — the refinement half of the search subsystem's
+bound → τ → in-kernel-abandon cascade.
+
+Both multi-process strategies return per-chunk ``(values, dp_cells)`` pairs
+from their workers and fold the cell counts back into the parent's counter, so
+:func:`repro.engine.dp_cell_count` reports the true kernel cell-work under
+every strategy.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 import numpy as np
 
 from ..distances.base import get_distance, get_kernel
 from .cache import MatrixCache, cache_key, fingerprint_trajectories
-from .kernels import get_batch_kernel
+from .kernels import add_dp_cell_count, dp_cell_count, get_batch_kernel
 
 __all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGIES",
-           "DEFAULT_CHUNK_BYTES"]
+           "DEFAULT_CHUNK_BYTES", "CanonicalArrays", "as_canonical_arrays"]
 
-STRATEGIES = ("serial", "chunked", "process")
+STRATEGIES = ("serial", "chunked", "process", "shared")
 
 _STRATEGY_ENV = "REPRO_ENGINE_STRATEGY"
 _CHUNK_BYTES_ENV = "REPRO_ENGINE_CHUNK_BYTES"
+_MAX_WORKERS_ENV = "REPRO_ENGINE_MAX_WORKERS"
 
 #: Default cap on the padded per-chunk DP tensor footprint (cost + table), in
 #: bytes.  Generous enough that typical workloads keep their full
@@ -61,6 +75,44 @@ def _default_chunk_bytes() -> int | None:
         return DEFAULT_CHUNK_BYTES
     parsed = int(value)
     return parsed if parsed > 0 else None
+
+
+def _default_max_workers() -> int:
+    """Pool size from ``REPRO_ENGINE_MAX_WORKERS`` (must be a positive integer)."""
+    value = os.environ.get(_MAX_WORKERS_ENV)
+    if value is None:
+        return min(4, os.cpu_count() or 1)
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"{_MAX_WORKERS_ENV} must be a positive integer, "
+                         f"got {value!r}") from None
+    if parsed <= 0:
+        raise ValueError(f"{_MAX_WORKERS_ENV} must be a positive integer, "
+                         f"got {value!r}")
+    return parsed
+
+
+class CanonicalArrays(list):
+    """A list of point arrays already in the engine's canonical form.
+
+    Elements are guaranteed to be 2-D ``float64`` NumPy arrays, so
+    :func:`_point_arrays` passes the list through untouched.  Long-lived
+    holders of trajectory collections (:class:`~repro.search.TrajectoryIndex`)
+    convert once at build time and tag the result, which stops every
+    ``engine.pairs`` refinement batch from re-walking the same database
+    trajectories through ``np.asarray``.
+    """
+
+    __slots__ = ()
+
+
+def as_canonical_arrays(trajectories: Sequence) -> CanonicalArrays:
+    """Convert a trajectory collection to canonical point arrays, once."""
+    if isinstance(trajectories, CanonicalArrays):
+        return trajectories
+    return CanonicalArrays(
+        np.asarray(getattr(t, "points", t), dtype=np.float64) for t in trajectories)
 
 
 def _pair_function(measure, use_kernels: bool):
@@ -96,9 +148,16 @@ def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: d
 
 def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
                   thresholds=None):
-    """Top-level worker so the process strategy can pickle its tasks."""
-    return _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels,
-                         thresholds=thresholds)
+    """Top-level worker so the process strategy can pickle its tasks.
+
+    Returns ``(values, dp_cells)``: the chunk's distances plus the number of
+    DP cells its kernels computed, which the parent folds into its own
+    counter so cell-work statistics aggregate across processes.
+    """
+    before = dp_cell_count()
+    values = _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels,
+                           thresholds=thresholds)
+    return values, dp_cell_count() - before
 
 
 class MatrixEngine:
@@ -115,7 +174,22 @@ class MatrixEngine:
         self.use_kernels = use_kernels
         self.cache = cache
         self.chunk_size = chunk_size
-        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        # ``max_workers`` sizes the process/shared pools.  None defers to
+        # REPRO_ENGINE_MAX_WORKERS / min(4, cpu_count); an explicit value must
+        # be positive (a silent fallback here once masked max_workers=0 bugs).
+        if max_workers is None:
+            self.max_workers = _default_max_workers()
+        else:
+            self.max_workers = int(max_workers)
+            if self.max_workers <= 0:
+                raise ValueError(f"max_workers must be a positive integer, "
+                                 f"got {max_workers!r}")
+        #: Dispatch accounting of the most recent multi-chunk run: strategy,
+        #: chunk count, per-task payload bytes (the arrays a ``process`` pool
+        #: pickles, or the index/threshold metadata ``shared`` ships) and the
+        #: bytes published once through the shared-memory arena.  The parallel
+        #: micro-benchmark reads this to record bytes-shipped reductions.
+        self.last_dispatch: dict | None = None
         # ``chunk_bytes`` caps the padded DP tensor footprint of one chunk (an
         # adaptive memory budget complementing the fixed pair-count cap).  None
         # defers to REPRO_ENGINE_CHUNK_BYTES / the default; <= 0 disables the cap.
@@ -184,9 +258,9 @@ class MatrixEngine:
         ``thresholds`` — optional ``(len(list_a),)`` per-pair abandon thresholds
         (the kNN heap's τ) forwarded into the batched wavefront kernels, which
         stop a pair's DP sweep — reporting ``+inf`` — as soon as its running
-        lower bound strictly exceeds its threshold.  Chunked and process
-        strategies slice the vector per chunk (slices ride along to pool
-        workers); the serial strategy threads one threshold per pair.  Measures
+        lower bound strictly exceeds its threshold.  Chunked, process and
+        shared strategies slice the vector per chunk (slices ride along to
+        pool workers); the serial strategy threads one threshold per pair.  Measures
         without a batch kernel (and ``use_kernels=False``) compute full
         distances, so thresholds are purely an optimisation: a finite result is
         always the exact distance.
@@ -287,30 +361,181 @@ class MatrixEngine:
         len_b = np.fromiter((len(arrays_b[j]) for j in cols), dtype=np.int64,
                             count=len(rows))
         order = np.argsort(len_a * len_b, kind="stable")
-        chunks = [
-            (positions,
-             [arrays_a[rows[p]] for p in positions],
-             [arrays_b[cols[p]] for p in positions],
-             None if thresholds is None else thresholds[positions])
-            for positions in self._plan_chunks(order, len_a, len_b)
-        ]
-        if self.strategy == "chunked" or len(chunks) == 1:
-            parts = [(positions, _chunk_values(list_a, list_b, measure, measure_kwargs,
-                                               self.use_kernels, thresholds=taus))
-                     for positions, list_a, list_b, taus in chunks]
+        plan = self._plan_chunks(order, len_a, len_b)
+        if self.strategy == "chunked" or len(plan) == 1:
+            # Single-chunk work never leaves the process, whatever the strategy:
+            # a pool round-trip (let alone an arena) cannot pay for itself on one
+            # chunk, and small ``pairs`` refinement batches hit this constantly.
+            parts = [
+                (positions,
+                 _chunk_values([arrays_a[rows[p]] for p in positions],
+                               [arrays_b[cols[p]] for p in positions],
+                               measure, measure_kwargs, self.use_kernels,
+                               thresholds=None if thresholds is None
+                               else thresholds[positions]))
+                for positions in plan
+            ]
+        elif self.strategy == "shared":
+            parts = self._run_shared(arrays_a, arrays_b, rows, cols, plan,
+                                     measure, measure_kwargs, thresholds)
         else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
-                                                   measure_kwargs, self.use_kernels, taus))
-                           for positions, list_a, list_b, taus in chunks]
-                parts = [(positions, future.result()) for positions, future in futures]
+            parts = self._run_process(arrays_a, arrays_b, rows, cols, plan,
+                                      measure, measure_kwargs, thresholds)
         values = np.zeros(len(rows))
         for positions, part in parts:
             values[positions] = part
         return values
 
+    def _run_process(self, arrays_a, arrays_b, rows, cols, plan, measure,
+                     measure_kwargs, thresholds) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-call pool, pickled per-chunk arrays (the pre-arena baseline)."""
+        chunks = [
+            (positions,
+             [arrays_a[rows[p]] for p in positions],
+             [arrays_b[cols[p]] for p in positions],
+             None if thresholds is None else thresholds[positions])
+            for positions in plan
+        ]
+        payload = sum(a.nbytes for _, list_a, _, _ in chunks for a in list_a)
+        payload += sum(b.nbytes for _, _, list_b, _ in chunks for b in list_b)
+        payload += sum(taus.nbytes for _, _, _, taus in chunks if taus is not None)
+        self.last_dispatch = {"strategy": "process", "num_chunks": len(chunks),
+                              "payload_bytes": int(payload), "arena_bytes": 0}
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
+                                               measure_kwargs, self.use_kernels, taus))
+                       for positions, list_a, list_b, taus in chunks]
+            return self._gather_all(futures)
+
+    def _run_shared(self, arrays_a, arrays_b, rows, cols, plan, measure,
+                    measure_kwargs, thresholds) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Persistent pool fed through a packed shared-memory arena.
+
+        The arena publishes every point array of this call once; chunks ship
+        only ``(arena name, pair-index vectors, threshold slice)``.  The arena
+        is closed *and unlinked* in a ``finally`` block after every future has
+        settled, so worker exceptions cannot leak shared memory.  A pool whose
+        worker died (``BrokenProcessPool``) is discarded and the whole dispatch
+        retried once on a fresh pool — the arena stays valid across the retry.
+        When ``multiprocessing.shared_memory`` is missing entirely, fall back
+        to pickled per-chunk dispatch, still over the persistent pool.
+        """
+        from . import shared
+
+        if not shared.shared_memory_available():
+            shared.warn_shared_memory_unavailable()
+            return self._dispatch_shared(plan, None, rows, cols, None, None,
+                                         measure, measure_kwargs, thresholds,
+                                         fallback_a=arrays_a, fallback_b=arrays_b)
+        # Deduplicate by object identity so an array appearing many times (the
+        # repeated query of a ``pairs`` refinement batch, or both sides of a
+        # pairwise call) occupies a single arena slot.
+        arena_arrays: list = []
+        slots: dict[int, int] = {}
+
+        def slot_table(arrays) -> np.ndarray:
+            table = np.empty(len(arrays), dtype=np.int64)
+            for position, array in enumerate(arrays):
+                key = id(array)
+                index = slots.get(key)
+                if index is None:
+                    index = slots[key] = len(arena_arrays)
+                    arena_arrays.append(array)
+                table[position] = index
+            return table
+
+        slot_a = slot_table(arrays_a)
+        slot_b = slot_a if arrays_b is arrays_a else slot_table(arrays_b)
+        with shared.TrajectoryArena(arena_arrays) as arena:
+            return self._dispatch_shared(plan, arena, rows, cols, slot_a, slot_b,
+                                         measure, measure_kwargs, thresholds)
+
+    def _dispatch_shared(self, plan, arena, rows, cols, slot_a, slot_b, measure,
+                         measure_kwargs, thresholds, fallback_a=None,
+                         fallback_b=None) -> list[tuple[np.ndarray, np.ndarray]]:
+        from . import shared
+
+        payload = 0
+        tasks = []
+        for positions in plan:
+            taus = None if thresholds is None else thresholds[positions]
+            if arena is not None:
+                idx_a = slot_a[rows[positions]]
+                idx_b = slot_b[cols[positions]]
+                args = (shared.shared_worker_chunk, arena.name, idx_a, idx_b,
+                        measure, measure_kwargs, self.use_kernels, taus)
+                payload += idx_a.nbytes + idx_b.nbytes
+            else:
+                list_a = [fallback_a[rows[p]] for p in positions]
+                list_b = [fallback_b[cols[p]] for p in positions]
+                args = (_worker_chunk, list_a, list_b, measure, measure_kwargs,
+                        self.use_kernels, taus)
+                payload += sum(a.nbytes for a in list_a) + sum(b.nbytes for b in list_b)
+            payload += 0 if taus is None else taus.nbytes
+            tasks.append((positions, args))
+        self.last_dispatch = {"strategy": "shared", "num_chunks": len(tasks),
+                              "payload_bytes": int(payload),
+                              "arena_bytes": 0 if arena is None else arena.size}
+        for attempt in (0, 1):
+            pool = shared.get_shared_pool(self.max_workers)
+            futures = []
+            try:
+                futures = [(positions, pool.submit(*args)) for positions, args in tasks]
+                return self._gather_all(futures)
+            except BrokenProcessPool:
+                # A worker died mid-call.  Discard the broken pool and retry the
+                # whole dispatch once on a fresh one; the arena is still linked.
+                shared.reset_shared_pool(self.max_workers)
+                if attempt:
+                    raise
+            except BaseException:
+                self._settle(futures)
+                raise
+
+    @staticmethod
+    def _gather_all(futures) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Resolve worker futures, folding their DP cell counts into this process.
+
+        The fold happens only once the *whole* dispatch has resolved: a
+        ``BrokenProcessPool`` retry re-runs every chunk, so folding as futures
+        land would double-count the chunks that resolved before the breakage.
+        """
+        parts = []
+        cells_total = 0
+        for positions, future in futures:
+            values, cells = future.result()
+            parts.append((positions, values))
+            cells_total += cells
+        add_dp_cell_count(cells_total)
+        return parts
+
+    @staticmethod
+    def _settle(futures) -> None:
+        """Cancel what has not started and wait out the rest (error paths only).
+
+        The shared arena must outlive every running worker chunk; on the first
+        failure the remaining futures are cancelled and awaited before the
+        caller's ``finally`` unlinks the arena.
+        """
+        for _, future in futures:
+            future.cancel()
+        wait([future for _, future in futures])
+
+    def close(self) -> None:
+        """Release the persistent ``shared``-strategy pool sized for this engine.
+
+        Idempotent and safe to skip: pools are process-wide singletons shut
+        down via ``atexit`` anyway, and the next ``shared`` call simply starts
+        a fresh one.
+        """
+        from . import shared
+
+        shared.reset_shared_pool(self.max_workers)
+
 
 def _point_arrays(trajectories: Sequence) -> list[np.ndarray]:
+    if isinstance(trajectories, CanonicalArrays):
+        return trajectories
     return [np.asarray(getattr(t, "points", t), dtype=np.float64) for t in trajectories]
 
 
@@ -321,8 +546,8 @@ def get_default_engine() -> MatrixEngine:
     """Process-wide engine used when callers do not pass one explicitly.
 
     The strategy can be pre-selected with the ``REPRO_ENGINE_STRATEGY`` environment
-    variable (``serial``, ``chunked`` or ``process``); it defaults to ``chunked``
-    with an in-memory matrix cache.
+    variable (``serial``, ``chunked``, ``process`` or ``shared``); it defaults to
+    ``chunked`` with an in-memory matrix cache.
     """
     global _default_engine
     if _default_engine is None:

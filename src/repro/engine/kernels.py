@@ -70,6 +70,7 @@ __all__ = [
     "available_batch_kernels",
     "dp_cell_count",
     "reset_dp_cell_count",
+    "add_dp_cell_count",
 ]
 
 _BATCH_KERNELS: dict[str, callable] = {}
@@ -112,6 +113,18 @@ def dp_cell_count() -> int:
 def _count_cells(cells: int) -> None:
     global _CELL_COUNT
     _CELL_COUNT += int(cells)
+
+
+def add_dp_cell_count(cells: int) -> None:
+    """Fold externally computed DP cells into this process's counter.
+
+    The ``process`` and ``shared`` engine strategies run their kernels in pool
+    workers, whose counters the parent cannot see; each worker chunk reports
+    the cells it computed and the parent adds them here, so
+    :func:`dp_cell_count` stays the single source of truth under every
+    execution strategy.
+    """
+    _count_cells(cells)
 
 
 # --------------------------------------------------------------------- helpers

@@ -1,0 +1,257 @@
+"""Zero-copy shared-memory backing for the engine's ``shared`` strategy.
+
+The ``process`` strategy pays twice for every chunk it dispatches: a fresh
+``ProcessPoolExecutor`` is spun up per ``pairwise``/``cross``/``pairs`` call,
+and the full point arrays of every pair are pickled to the workers — for a
+pairwise matrix each trajectory is shipped once per pair it participates in,
+an O(n) amplification of the actual data volume.  This module removes both
+costs:
+
+* :class:`TrajectoryArena` — all point arrays of one engine call flattened
+  into a single contiguous float64 buffer published through
+  :mod:`multiprocessing.shared_memory`.  A small header (an
+  ``(offset, length, dim)`` table) makes every trajectory recoverable as a
+  zero-copy NumPy view, so chunk dispatch ships only integer pair indices
+  and per-chunk threshold slices;
+* a **persistent worker pool** (:func:`get_shared_pool`) — started lazily on
+  the first ``shared``-strategy call, reused across calls and engines with
+  the same worker count, and shut down via ``atexit`` (or explicitly through
+  :func:`shutdown_shared_pools` / ``MatrixEngine.close``);
+* :func:`shared_worker_chunk` — the worker entrypoint: attach to the arena
+  (cached per worker process, so a call's many chunks attach once),
+  reconstruct read-only views, run the exact same batch-kernel path as the
+  other strategies, and return ``(values, dp_cells)`` so kernel cell-work
+  statistics aggregate across processes.
+
+Lifecycle: the parent creates one arena per engine call, waits for every
+chunk future to settle, then closes *and unlinks* the segment in a
+``finally`` block — an exception in any worker can never leak shared memory.
+Workers keep their most recent attachment open (closing the previous one as
+soon as a new arena name arrives), which is safe on POSIX: an unlinked
+segment stays mapped until the last attachment closes.  Platforms without
+``multiprocessing.shared_memory`` degrade gracefully: the engine detects
+:func:`shared_memory_available` and falls back to per-chunk pickling over
+the same persistent pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
+__all__ = [
+    "TrajectoryArena",
+    "shared_memory_available",
+    "get_shared_pool",
+    "reset_shared_pool",
+    "shutdown_shared_pools",
+    "live_arena_names",
+    "shared_worker_chunk",
+]
+
+#: Arena header scalar type; offsets are in float64 *elements* into the payload.
+_HEADER_DTYPE = np.int64
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` exists on this platform."""
+    return _shared_memory is not None
+
+
+# ----------------------------------------------------------------- the arena
+
+#: Names of arenas created by this process that are not yet unlinked.  The
+#: robustness suite asserts this drains back to empty even on exception paths.
+_LIVE_ARENAS: set[str] = set()
+
+
+class TrajectoryArena:
+    """All point arrays of one engine call packed into one shared segment.
+
+    Layout (native byte order)::
+
+        int64             count                      number of trajectories
+        int64[count, 3]   table                      (offset, length, dim) rows
+        float64[total]    payload                    concatenated point data
+
+    ``offset`` indexes float64 elements into the payload, so trajectory ``i``
+    is ``payload[offset:offset + length * dim].reshape(length, dim)`` — a
+    zero-copy view for whoever attaches.
+    """
+
+    def __init__(self, arrays):
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable "
+                               "on this platform")
+        count = len(arrays)
+        lengths = np.array([a.shape[0] for a in arrays], dtype=_HEADER_DTYPE)
+        dims = np.array([a.shape[1] for a in arrays], dtype=_HEADER_DTYPE)
+        sizes = lengths * dims
+        offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))) if count \
+            else np.zeros(0, dtype=_HEADER_DTYPE)
+        header_elements = 1 + 3 * count
+        total = int(sizes.sum())
+        self.size = 8 * (header_elements + total)
+        self._shm = _shared_memory.SharedMemory(create=True, size=max(self.size, 8))
+        try:
+            header = np.ndarray((header_elements,), dtype=_HEADER_DTYPE,
+                                buffer=self._shm.buf)
+            header[0] = count
+            table = header[1:].reshape(count, 3)
+            table[:, 0] = offsets
+            table[:, 1] = lengths
+            table[:, 2] = dims
+            payload = np.ndarray((total,), dtype=np.float64, buffer=self._shm.buf,
+                                 offset=8 * header_elements)
+            for offset, size, array in zip(offsets, sizes, arrays):
+                payload[offset:offset + size] = array.reshape(-1)
+            del header, table, payload  # drop buffer exports before any close()
+        except BaseException:
+            self._shm.close()
+            self._shm.unlink()
+            raise
+        self.name = self._shm.name
+        _LIVE_ARENAS.add(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrajectoryArena(name={self.name!r}, size={self.size})"
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent, exception-safe)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+        _LIVE_ARENAS.discard(self.name)
+
+    def __enter__(self) -> "TrajectoryArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def unpack_views(buffer) -> list[np.ndarray]:
+    """Read-only zero-copy trajectory views over a packed arena buffer."""
+    count = int(np.ndarray((1,), dtype=_HEADER_DTYPE, buffer=buffer)[0])
+    header_elements = 1 + 3 * count
+    table = np.ndarray((count, 3), dtype=_HEADER_DTYPE, buffer=buffer, offset=8)
+    views = []
+    for offset, length, dim in table:
+        view = np.ndarray((int(length), int(dim)), dtype=np.float64, buffer=buffer,
+                          offset=8 * (header_elements + int(offset)))
+        view.flags.writeable = False
+        views.append(view)
+    return views
+
+
+def live_arena_names() -> frozenset[str]:
+    """Arenas created by this process that are still linked (leak detector)."""
+    return frozenset(_LIVE_ARENAS)
+
+
+# ------------------------------------------------------------- worker side
+
+#: The worker's current attachment: ``{arena_name: (SharedMemory, views)}``.
+#: Holds at most one entry — engine calls are serialized per arena, so a new
+#: name means the previous call is over and its segment can be released.
+_ATTACHED: dict[str, tuple[object, list[np.ndarray]]] = {}
+
+
+def _release_attachment(name: str) -> None:
+    shm, views = _ATTACHED.pop(name)
+    views.clear()
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a stray view still references buf
+        pass
+
+
+def _attach_arena(name: str) -> list[np.ndarray]:
+    """Attach to ``name`` (cached) and return its trajectory views."""
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    for stale in list(_ATTACHED):
+        _release_attachment(stale)
+    shm = _shared_memory.SharedMemory(name=name)
+    views = unpack_views(shm.buf)
+    _ATTACHED[name] = (shm, views)
+    return views
+
+
+def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
+                        use_kernels, thresholds=None):
+    """Worker entrypoint: arena views → batch kernels → ``(values, dp_cells)``.
+
+    ``idx_a``/``idx_b`` index trajectories inside the arena; after resolving
+    the views this delegates to the ``process`` strategy's worker, so the
+    arithmetic and the ``(values, dp_cells)`` counting contract are shared
+    with every other strategy and results are bit-identical.
+    """
+    from .executor import _worker_chunk
+
+    arrays = _attach_arena(arena_name)
+    return _worker_chunk([arrays[int(i)] for i in idx_a],
+                         [arrays[int(j)] for j in idx_b],
+                         measure, measure_kwargs, use_kernels,
+                         thresholds=thresholds)
+
+
+# ------------------------------------------------------- the persistent pool
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_ATEXIT_REGISTERED = False
+
+
+def get_shared_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The persistent pool for ``max_workers`` (created lazily, reused)."""
+    global _ATEXIT_REGISTERED
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOLS[max_workers] = pool
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_shared_pools)
+            _ATEXIT_REGISTERED = True
+    return pool
+
+
+def reset_shared_pool(max_workers: int) -> None:
+    """Discard the pool for ``max_workers`` (after e.g. a killed worker)."""
+    pool = _POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every persistent pool (registered with ``atexit``)."""
+    for max_workers in list(_POOLS):
+        pool = _POOLS.pop(max_workers)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+_FALLBACK_WARNED = False
+
+
+def warn_shared_memory_unavailable() -> None:
+    """One warning per process when ``shared`` degrades to pickled dispatch."""
+    global _FALLBACK_WARNED
+    if not _FALLBACK_WARNED:
+        _FALLBACK_WARNED = True
+        warnings.warn("multiprocessing.shared_memory is unavailable; the "
+                      "'shared' strategy is falling back to pickled chunk "
+                      "dispatch over the persistent pool", RuntimeWarning,
+                      stacklevel=3)

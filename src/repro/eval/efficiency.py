@@ -71,7 +71,11 @@ def matrix_build_latency(trajectories, measure: str = "dtw", engine=None,
     engine = engine or MatrixEngine()
     probe = MatrixEngine(strategy=engine.strategy, use_kernels=engine.use_kernels,
                          cache=None, chunk_size=engine.chunk_size,
-                         max_workers=engine.max_workers)
+                         max_workers=engine.max_workers,
+                         # engine.chunk_bytes is the *resolved* budget (None =
+                         # disabled); -1 re-disables it on the probe copy.
+                         chunk_bytes=engine.chunk_bytes
+                         if engine.chunk_bytes is not None else -1)
     latency = time_callable(
         lambda: probe.pairwise(trajectories, measure, **measure_kwargs),
         repeats=repeats)
@@ -81,6 +85,7 @@ def matrix_build_latency(trajectories, measure: str = "dtw", engine=None,
         measure=measure,
         strategy=probe.strategy,
         use_kernels=probe.use_kernels,
+        max_workers=probe.max_workers,
     )
 
 

@@ -29,17 +29,27 @@ PROBE_QUERIES = 5
 
 
 def _search_probe(settings: ExperimentSettings, dataset) -> dict:
-    """Exact top-k latency/pruning over the experiment database."""
+    """Exact top-k latency/pruning over the experiment database.
+
+    The probe runs under the settings' engine, so ``engine_strategy="shared"``
+    (plus ``engine_max_workers``) exercises the zero-copy parallel refinement
+    path end to end; the serving engine configuration is recorded alongside
+    the latency numbers.
+    """
     from .runner import _SPATIOTEMPORAL_MEASURES
 
     spatial_only = settings.measure not in _SPATIOTEMPORAL_MEASURES
     trajectories = dataset.point_arrays(spatial_only=spatial_only)
     num_queries = min(PROBE_QUERIES, len(trajectories))
     k = min(5, len(trajectories) - 1)
-    return dict(search_latency(trajectories, trajectories[:num_queries], k=k,
-                               measure=settings.measure, repeats=1,
-                               engine=settings.make_engine(), exclude_self=True,
-                               **settings.measure_kwargs()))
+    engine = settings.make_engine()
+    probe = dict(search_latency(trajectories, trajectories[:num_queries], k=k,
+                                measure=settings.measure, repeats=1,
+                                engine=engine, exclude_self=True,
+                                **settings.measure_kwargs()))
+    probe["engine_strategy"] = engine.strategy
+    probe["engine_max_workers"] = engine.max_workers
+    return probe
 
 
 def run(settings: ExperimentSettings | None = None, fractions=DEFAULT_FRACTIONS) -> dict:

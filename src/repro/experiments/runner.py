@@ -54,9 +54,13 @@ class ExperimentSettings:
     hr_ks: tuple[int, ...] = (5, 10, 50)
     ndcg_ks: tuple[int, ...] = (10, 50)
     plugin: LHPluginConfig = field(default_factory=LHPluginConfig)
-    #: Execution strategy for ground-truth matrix construction; None uses the
-    #: process-wide default engine (strategy "chunked" with an in-memory cache).
+    #: Execution strategy for ground-truth matrix construction (``serial``,
+    #: ``chunked``, ``process`` or the zero-copy ``shared`` pool); None uses
+    #: the process-wide default engine (``chunked`` with an in-memory cache).
     engine_strategy: str | None = None
+    #: Worker-pool size for the ``process``/``shared`` strategies; None defers
+    #: to ``REPRO_ENGINE_MAX_WORKERS`` / the engine default.
+    engine_max_workers: int | None = None
     use_vectorized_kernels: bool = True
     #: Whether training steps run through the mask-aware batched forward
     #: (``encode_batch`` + batched plugin distances).  Defaults to on; the
@@ -72,14 +76,16 @@ class ExperimentSettings:
 
     def make_engine(self) -> MatrixEngine:
         """Engine instance implied by the settings (default engine when unset)."""
-        if self.engine_strategy is None and self.use_vectorized_kernels:
+        if (self.engine_strategy is None and self.engine_max_workers is None
+                and self.use_vectorized_kernels):
             return get_default_engine()
         # Share the default engine's cache so explicitly choosing a strategy does
         # not silently forfeit cache hits — except when kernels are disabled, where
         # a kernel-computed cache entry would defeat the point of the reference run.
         cache = get_default_engine().cache if self.use_vectorized_kernels else None
         return MatrixEngine(strategy=self.engine_strategy or "chunked",
-                            use_kernels=self.use_vectorized_kernels, cache=cache)
+                            use_kernels=self.use_vectorized_kernels, cache=cache,
+                            max_workers=self.engine_max_workers)
 
 
 def prepare_experiment(settings: ExperimentSettings,

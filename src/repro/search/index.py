@@ -25,6 +25,7 @@ from ..data.grid import Grid
 from ..data.quadtree import QuadTree
 from ..data.trajectory import BoundingBox
 from ..engine.cache import fingerprint_trajectories
+from ..engine.executor import CanonicalArrays
 from .bounds import (
     StackedSummaries,
     TrajectorySummary,
@@ -48,7 +49,9 @@ class TrajectoryIndex:
         for points in arrays:
             if points.ndim != 2 or points.shape[0] == 0 or points.shape[1] < 2:
                 raise ValueError("every trajectory must be a non-empty (n, d>=2) array")
-        self.arrays = arrays
+        # Tagged as already-canonical so every ``engine.pairs`` refinement
+        # batch over this database skips re-converting the same trajectories.
+        self.arrays = CanonicalArrays(arrays)
         self.summaries = [TrajectorySummary.of(points) for points in arrays]
         self.bounding_box = self._global_box(margin)
 

@@ -32,6 +32,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..engine.executor import CanonicalArrays
 from .index import TrajectoryIndex
 
 __all__ = ["SearchStats", "SearchResult", "knn_search", "DEFAULT_ABANDON_MEASURES"]
@@ -193,8 +194,10 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         thresholds = (np.full(len(batch), tau)
                       if abandon and np.isfinite(tau) else None)
         start = time.perf_counter()
-        distances = engine.pairs([query_points] * len(batch),
-                                 [index.arrays[i] for i in batch],
+        # Both sides ride through as CanonicalArrays: the engine skips its
+        # per-call asarray walk over database trajectories it has seen before.
+        distances = engine.pairs(CanonicalArrays([query_points] * len(batch)),
+                                 CanonicalArrays([index.arrays[i] for i in batch]),
                                  measure, thresholds=thresholds, **measure_kwargs)
         refine_seconds += time.perf_counter() - start
         num_batches += 1

@@ -111,6 +111,9 @@ class SearchService:
         """Enqueue a query; the batch flushes at ``batch_size`` or on demand."""
         k = self.default_k if k is None else k
         handle = PendingQuery(self)
+        # Canonicalize the query once here: the cache key, the lower-bound pass
+        # and every refinement batch all reuse the same float64 point array.
+        query = np.asarray(getattr(query, "points", query), dtype=np.float64)
         key = self._result_key(query, k, exclude)
         self._pending.append((key, query, k, exclude, handle))
         if len(self._pending) >= self.batch_size:
@@ -162,8 +165,8 @@ class SearchService:
         return len(pending)
 
     # -------------------------------------------------------------------- cache
-    def _result_key(self, query, k: int, exclude) -> str:
-        points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+    def _result_key(self, points: np.ndarray, k: int, exclude) -> str:
+        # ``submit`` already canonicalized the query to a float64 point array.
         fingerprint = fingerprint_trajectories([points]) + self.index.fingerprint
         return cache_key(fingerprint, self.measure, self.measure_kwargs,
                          kind=f"knn:{k}:{exclude!r}")

@@ -55,6 +55,30 @@ class TestEngineConfiguration:
             set_default_engine(None)
 
 
+class TestMaxWorkers:
+    def test_explicit_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            MatrixEngine(max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            MatrixEngine(max_workers=-2)
+
+    def test_default_and_env_override(self, monkeypatch):
+        monkeypatch.delenv(executor_module._MAX_WORKERS_ENV, raising=False)
+        assert MatrixEngine().max_workers == min(4, __import__("os").cpu_count() or 1)
+        monkeypatch.setenv(executor_module._MAX_WORKERS_ENV, "3")
+        assert MatrixEngine().max_workers == 3
+        # An explicit argument beats the environment.
+        assert MatrixEngine(max_workers=2).max_workers == 2
+
+    def test_env_values_validated(self, monkeypatch):
+        monkeypatch.setenv(executor_module._MAX_WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_MAX_WORKERS"):
+            MatrixEngine()
+        monkeypatch.setenv(executor_module._MAX_WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_MAX_WORKERS"):
+            MatrixEngine()
+
+
 class TestChunkByteBudget:
     def test_default_budget_and_env_override(self, monkeypatch):
         assert MatrixEngine().chunk_bytes == executor_module.DEFAULT_CHUNK_BYTES
