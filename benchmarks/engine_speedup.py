@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.data import generate_dataset
-from repro.engine import MatrixEngine
+from repro.engine import MatrixEngine, backend_provenance
 from repro.eval import matrix_build_latency, time_callable
 from repro.violation import violation_report
 
@@ -89,6 +89,9 @@ def main() -> int:
 
     dataset = generate_dataset(args.preset, size=args.size, seed=0)
     trajectories = dataset.point_arrays(spatial_only=True)
+    # Warm the active backend before any timed run (JIT compilation cost is
+    # recorded separately in the provenance, never inside a measurement).
+    provenance = backend_provenance()
     matrix = MatrixEngine().pairwise(trajectories, "dtw")
 
     pairwise = benchmark_pairwise(trajectories, args.measures, args.repeats)
@@ -99,6 +102,7 @@ def main() -> int:
         "size": args.size,
         "repeats": args.repeats,
         "platform": platform.platform(),
+        **provenance,
         "pairwise": pairwise,
         "violation_report": violation,
     }

@@ -43,7 +43,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.data import generate_dataset
-from repro.engine import MatrixEngine, shared_memory_available
+from repro.engine import MatrixEngine, backend_provenance, shared_memory_available
 from repro.eval import time_callable
 
 RESULTS_PATH = Path(__file__).parent / "results" / "parallel_speedup.json"
@@ -130,6 +130,9 @@ def main() -> int:
     kwargs_by_measure = {"edr": {"epsilon": 0.25}, "lcss": {"epsilon": 0.25}}
 
     cores = usable_cores()
+    # Warm the active backend before any timed run; provenance keys make the
+    # recorded latencies comparable across boxes and backends.
+    provenance = backend_provenance()
     rows = {measure: benchmark_measure(trajectories, measure, args.workers,
                                        args.repeats,
                                        kwargs_by_measure.get(measure, {}))
@@ -144,6 +147,7 @@ def main() -> int:
         "usable_cores": cores,
         "shared_memory_available": shared_memory_available(),
         "platform": platform.platform(),
+        **provenance,
         "speedup_floor": SPEEDUP_FLOOR,
         "speedup_floor_gated": gate_speedup,
         "bytes_floor": BYTES_FLOOR,

@@ -30,7 +30,8 @@ import numpy as np
 
 from repro.data import generate_dataset
 from repro.distances import knn_from_matrix
-from repro.engine import MatrixEngine, dp_cell_count, reset_dp_cell_count
+from repro.engine import (MatrixEngine, backend_provenance, dp_cell_count,
+                          reset_dp_cell_count)
 from repro.search import TrajectoryIndex, knn_search
 
 RESULTS_PATH = Path(__file__).parent / "results" / "prune_speedup.json"
@@ -97,6 +98,9 @@ def main() -> int:
     dataset = generate_dataset(args.preset, size=args.size, seed=0)
     trajectories = dataset.point_arrays(spatial_only=True)
     engine = MatrixEngine(cache=None)
+    # Resolve + warm the active backend before anything is timed: JIT
+    # compilation must never ride inside a measured kNN pass.
+    provenance = backend_provenance()
     index = TrajectoryIndex(trajectories)
 
     rows = {measure: benchmark_measure(index, trajectories, measure,
@@ -111,6 +115,9 @@ def main() -> int:
         "k": args.k,
         "batch_size": args.batch_size,
         "platform": platform.platform(),
+        # Active backend + numba version (or "absent") + warm-up seconds, so
+        # latency trajectories across boxes/backends stay comparable.
+        **provenance,
         "measures": rows,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)

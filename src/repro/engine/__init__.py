@@ -10,7 +10,11 @@ distance matrices (training, violation analysis, experiments).  It owns:
   registered alongside the reference implementations;
 * a packed shared-memory trajectory arena and persistent worker pool backing
   the ``shared`` strategy (:mod:`repro.engine.shared`);
-* a content-addressed matrix cache (:mod:`repro.engine.cache`).
+* a content-addressed matrix cache (:mod:`repro.engine.cache`);
+* pluggable kernel backends (:mod:`repro.engine.backends`) — the numpy
+  wavefront kernels as the bitwise reference plus compiled (numba) per-pair
+  DP loops, selected via ``MatrixEngine(backend=...)``, :func:`set_backend`
+  or ``REPRO_KERNEL_BACKEND``.
 
 ``get_default_engine()`` returns the process-wide engine used by the thin wrappers
 in :mod:`repro.distances.matrix`.
@@ -30,6 +34,17 @@ from .kernels import (
     dp_cell_count,
     reset_dp_cell_count,
     add_dp_cell_count,
+)
+from .backends import (
+    BACKEND_ENV,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    backend_available,
+    backend_provenance,
+    register_backend,
+    resolve_backend,
+    set_backend,
 )
 from .executor import (
     STRATEGIES,
@@ -54,6 +69,9 @@ __all__ = [
     "available_batch_kernels", "get_batch_kernel",
     "dtw_batch", "erp_batch", "edr_batch", "lcss_batch", "frechet_batch", "dita_batch",
     "dp_cell_count", "reset_dp_cell_count", "add_dp_cell_count",
+    "BACKEND_ENV", "KernelBackend", "active_backend", "available_backends",
+    "backend_available", "backend_provenance", "register_backend",
+    "resolve_backend", "set_backend",
     "STRATEGIES", "DEFAULT_CHUNK_BYTES", "MatrixEngine",
     "CanonicalArrays", "as_canonical_arrays",
     "get_default_engine", "set_default_engine",

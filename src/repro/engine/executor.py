@@ -49,6 +49,7 @@ from typing import Sequence
 import numpy as np
 
 from ..distances.base import get_distance, get_kernel
+from .backends import resolve_backend
 from .cache import MatrixCache, cache_key, fingerprint_trajectories
 from .kernels import add_dp_cell_count, dp_cell_count, get_batch_kernel
 
@@ -108,55 +109,83 @@ class CanonicalArrays(list):
 
 
 def as_canonical_arrays(trajectories: Sequence) -> CanonicalArrays:
-    """Convert a trajectory collection to canonical point arrays, once."""
+    """Convert a trajectory collection to canonical point arrays, once.
+
+    Canonical means C-contiguous ``float64``: the compiled backends index
+    row-major, so coercing here (``np.ascontiguousarray`` returns the input
+    object unchanged when it already qualifies) guarantees jitted kernels
+    never silently copy the same database trajectory on every refinement call.
+    """
     if isinstance(trajectories, CanonicalArrays):
         return trajectories
     return CanonicalArrays(
-        np.asarray(getattr(t, "points", t), dtype=np.float64) for t in trajectories)
+        np.ascontiguousarray(getattr(t, "points", t), dtype=np.float64)
+        for t in trajectories)
 
 
-def _pair_function(measure, use_kernels: bool):
-    """Per-pair distance callable: vectorized kernel if allowed, else the reference."""
+def _pair_function(measure, use_kernels: bool, backend=None):
+    """Per-pair distance callable: vectorized kernel if allowed, else the reference.
+
+    ``backend`` (a resolved :class:`~repro.engine.backends.KernelBackend`) gets
+    first pick; a measure the backend does not cover falls through to the
+    reference numpy kernel, then to the reference distance function.
+    """
     if callable(measure):
         return measure
     if use_kernels:
-        kernel = get_kernel(measure)
+        kernel = backend.pair_kernel(measure) if backend is not None else None
+        if kernel is None:
+            kernel = get_kernel(measure)
         if kernel is not None:
             return kernel
     return get_distance(measure)
 
 
 def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: dict,
-                  use_kernels: bool, thresholds=None) -> np.ndarray:
+                  use_kernels: bool, thresholds=None, backend=None) -> np.ndarray:
     """Distances for aligned trajectory lists, batched when a batch kernel exists.
 
     ``thresholds`` (per-pair abandon thresholds) only reach a batch kernel —
     they are an optimisation contract, not a semantic one, so reference loops
-    and callable measures simply compute the full distance.
+    and callable measures simply compute the full distance.  ``backend`` is a
+    resolved :class:`~repro.engine.backends.KernelBackend` (None means the
+    numpy reference lookup, preserving the historical path).
     """
     if use_kernels and isinstance(measure, str):
-        batch = get_batch_kernel(measure)
+        batch = backend.batch_kernel(measure) if backend is not None else None
+        if batch is None:
+            batch = get_batch_kernel(measure)
         if batch is not None:
             if thresholds is not None:
                 return np.asarray(batch(list_a, list_b, thresholds=thresholds,
                                         **measure_kwargs), dtype=np.float64)
             return np.asarray(batch(list_a, list_b, **measure_kwargs), dtype=np.float64)
-    func = _pair_function(measure, use_kernels)
+    func = _pair_function(measure, use_kernels, backend)
     return np.array([func(a, b, **measure_kwargs) for a, b in zip(list_a, list_b)],
                     dtype=np.float64)
 
 
 def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
-                  thresholds=None):
+                  thresholds=None, backend=None):
     """Top-level worker so the process strategy can pickle its tasks.
 
     Returns ``(values, dp_cells)``: the chunk's distances plus the number of
     DP cells its kernels computed, which the parent folds into its own
     counter so cell-work statistics aggregate across processes.
+
+    ``backend`` is the parent's *resolved backend name*; the worker re-resolves
+    it on attach (non-strict: a worker without numba degrades to numpy with a
+    warning instead of poisoning the pool) and pays JIT warm-up once per
+    process, outside any timed chunk the caller measures.
     """
+    resolved = None
+    if backend is not None and use_kernels:
+        resolved = resolve_backend(backend, strict=False)
+        if resolved.compiled:
+            resolved.warmup()
     before = dp_cell_count()
     values = _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels,
-                           thresholds=thresholds)
+                           thresholds=thresholds, backend=resolved)
     return values, dp_cell_count() - before
 
 
@@ -165,13 +194,22 @@ class MatrixEngine:
 
     def __init__(self, strategy: str = "chunked", use_kernels: bool = True,
                  cache: MatrixCache | None = None, chunk_size: int = 128,
-                 max_workers: int | None = None, chunk_bytes: int | None = None):
+                 max_workers: int | None = None, chunk_bytes: int | None = None,
+                 backend: str | None = None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy '{strategy}'; options: {STRATEGIES}")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self.strategy = strategy
         self.use_kernels = use_kernels
+        # ``backend`` names the kernel backend ("numpy", "numba", "auto" or a
+        # registered third party); None defers to set_backend() / the
+        # REPRO_KERNEL_BACKEND environment variable / auto at call time, so a
+        # long-lived engine follows process-wide backend switches.  An explicit
+        # unknown name fails here; availability is checked when work runs.
+        self.backend = backend
+        if backend is not None:
+            resolve_backend(backend, strict=False)  # validate the name early
         self.cache = cache
         self.chunk_size = chunk_size
         # ``max_workers`` sizes the process/shared pools.  None defers to
@@ -200,8 +238,16 @@ class MatrixEngine:
 
     def __repr__(self) -> str:
         return (f"MatrixEngine(strategy={self.strategy!r}, use_kernels={self.use_kernels}, "
+                f"backend={self.backend or 'auto'!r}, "
                 f"chunk_size={self.chunk_size}, chunk_bytes={self.chunk_bytes}, "
                 f"cache={'on' if self.cache is not None else 'off'})")
+
+    def resolved_backend(self):
+        """The :class:`~repro.engine.backends.KernelBackend` this engine's next
+        call will use (None when kernels are disabled entirely)."""
+        if not self.use_kernels:
+            return None
+        return resolve_backend(self.backend)
 
     # ------------------------------------------------------------- matrix API
     def pairwise(self, trajectories: Sequence, measure="dtw", **measure_kwargs) -> np.ndarray:
@@ -336,16 +382,20 @@ class MatrixEngine:
 
     def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs,
              thresholds=None) -> np.ndarray:
+        # Resolve the kernel backend once per run (cheap dict lookups): the
+        # engine's explicit backend, else set_backend()/env/auto.  Kernel-less
+        # engines never resolve — the reference loop is backend-free.
+        backend = resolve_backend(self.backend) if self.use_kernels else None
         if self.strategy == "serial":
-            func = _pair_function(measure, self.use_kernels)
+            func = _pair_function(measure, self.use_kernels, backend)
             # The per-pair kernels expose abandoning as a scalar threshold=;
-            # only a measure whose *resolved* callable is its registered kernel
-            # and that also has a batch kernel (the two are registered together
-            # with threshold support) is known to honour it — the reference
-            # fallback must never see the keyword.
+            # only a measure whose *resolved* callable came from a backend that
+            # declares threshold support for it is known to honour the keyword
+            # — the reference fallback must never see it.
             if (thresholds is not None and isinstance(measure, str)
-                    and func is get_kernel(measure)
-                    and get_batch_kernel(measure) is not None):
+                    and backend is not None
+                    and func is backend.pair_kernel(measure)
+                    and backend.supports_threshold(measure)):
                 return np.array([
                     func(arrays_a[i], arrays_b[j],
                          threshold=float(thresholds[index]), **measure_kwargs)
@@ -372,23 +422,25 @@ class MatrixEngine:
                                [arrays_b[cols[p]] for p in positions],
                                measure, measure_kwargs, self.use_kernels,
                                thresholds=None if thresholds is None
-                               else thresholds[positions]))
+                               else thresholds[positions], backend=backend))
                 for positions in plan
             ]
         elif self.strategy == "shared":
             parts = self._run_shared(arrays_a, arrays_b, rows, cols, plan,
-                                     measure, measure_kwargs, thresholds)
+                                     measure, measure_kwargs, thresholds, backend)
         else:
             parts = self._run_process(arrays_a, arrays_b, rows, cols, plan,
-                                      measure, measure_kwargs, thresholds)
+                                      measure, measure_kwargs, thresholds, backend)
         values = np.zeros(len(rows))
         for positions, part in parts:
             values[positions] = part
         return values
 
     def _run_process(self, arrays_a, arrays_b, rows, cols, plan, measure,
-                     measure_kwargs, thresholds) -> list[tuple[np.ndarray, np.ndarray]]:
+                     measure_kwargs, thresholds,
+                     backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
         """Per-call pool, pickled per-chunk arrays (the pre-arena baseline)."""
+        backend_name = None if backend is None else backend.name
         chunks = [
             (positions,
              [arrays_a[rows[p]] for p in positions],
@@ -400,15 +452,18 @@ class MatrixEngine:
         payload += sum(b.nbytes for _, _, list_b, _ in chunks for b in list_b)
         payload += sum(taus.nbytes for _, _, _, taus in chunks if taus is not None)
         self.last_dispatch = {"strategy": "process", "num_chunks": len(chunks),
-                              "payload_bytes": int(payload), "arena_bytes": 0}
+                              "payload_bytes": int(payload), "arena_bytes": 0,
+                              "kernel_backend": backend_name}
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
-                                               measure_kwargs, self.use_kernels, taus))
+                                               measure_kwargs, self.use_kernels, taus,
+                                               backend_name))
                        for positions, list_a, list_b, taus in chunks]
             return self._gather_all(futures)
 
     def _run_shared(self, arrays_a, arrays_b, rows, cols, plan, measure,
-                    measure_kwargs, thresholds) -> list[tuple[np.ndarray, np.ndarray]]:
+                    measure_kwargs, thresholds,
+                    backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
         """Persistent pool fed through a packed shared-memory arena.
 
         The arena publishes every point array of this call once; chunks ship
@@ -426,7 +481,8 @@ class MatrixEngine:
             shared.warn_shared_memory_unavailable()
             return self._dispatch_shared(plan, None, rows, cols, None, None,
                                          measure, measure_kwargs, thresholds,
-                                         fallback_a=arrays_a, fallback_b=arrays_b)
+                                         fallback_a=arrays_a, fallback_b=arrays_b,
+                                         backend=backend)
         # Deduplicate by object identity so an array appearing many times (the
         # repeated query of a ``pairs`` refinement batch, or both sides of a
         # pairwise call) occupies a single arena slot.
@@ -448,13 +504,16 @@ class MatrixEngine:
         slot_b = slot_a if arrays_b is arrays_a else slot_table(arrays_b)
         with shared.TrajectoryArena(arena_arrays) as arena:
             return self._dispatch_shared(plan, arena, rows, cols, slot_a, slot_b,
-                                         measure, measure_kwargs, thresholds)
+                                         measure, measure_kwargs, thresholds,
+                                         backend=backend)
 
     def _dispatch_shared(self, plan, arena, rows, cols, slot_a, slot_b, measure,
                          measure_kwargs, thresholds, fallback_a=None,
-                         fallback_b=None) -> list[tuple[np.ndarray, np.ndarray]]:
+                         fallback_b=None,
+                         backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
         from . import shared
 
+        backend_name = None if backend is None else backend.name
         payload = 0
         tasks = []
         for positions in plan:
@@ -463,19 +522,21 @@ class MatrixEngine:
                 idx_a = slot_a[rows[positions]]
                 idx_b = slot_b[cols[positions]]
                 args = (shared.shared_worker_chunk, arena.name, idx_a, idx_b,
-                        measure, measure_kwargs, self.use_kernels, taus)
+                        measure, measure_kwargs, self.use_kernels, taus,
+                        backend_name)
                 payload += idx_a.nbytes + idx_b.nbytes
             else:
                 list_a = [fallback_a[rows[p]] for p in positions]
                 list_b = [fallback_b[cols[p]] for p in positions]
                 args = (_worker_chunk, list_a, list_b, measure, measure_kwargs,
-                        self.use_kernels, taus)
+                        self.use_kernels, taus, backend_name)
                 payload += sum(a.nbytes for a in list_a) + sum(b.nbytes for b in list_b)
             payload += 0 if taus is None else taus.nbytes
             tasks.append((positions, args))
         self.last_dispatch = {"strategy": "shared", "num_chunks": len(tasks),
                               "payload_bytes": int(payload),
-                              "arena_bytes": 0 if arena is None else arena.size}
+                              "arena_bytes": 0 if arena is None else arena.size,
+                              "kernel_backend": backend_name}
         for attempt in (0, 1):
             pool = shared.get_shared_pool(self.max_workers)
             futures = []

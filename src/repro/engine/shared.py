@@ -193,13 +193,15 @@ def _attach_arena(name: str) -> list[np.ndarray]:
 
 
 def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
-                        use_kernels, thresholds=None):
+                        use_kernels, thresholds=None, backend=None):
     """Worker entrypoint: arena views → batch kernels → ``(values, dp_cells)``.
 
     ``idx_a``/``idx_b`` index trajectories inside the arena; after resolving
     the views this delegates to the ``process`` strategy's worker, so the
-    arithmetic and the ``(values, dp_cells)`` counting contract are shared
-    with every other strategy and results are bit-identical.
+    arithmetic, the ``(values, dp_cells)`` counting contract and the kernel
+    backend resolution (``backend`` is the parent's resolved backend name —
+    the worker re-resolves non-strictly and warms up once per process) are
+    shared with every other strategy and results are bit-identical.
     """
     from .executor import _worker_chunk
 
@@ -207,7 +209,7 @@ def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
     return _worker_chunk([arrays[int(i)] for i in idx_a],
                          [arrays[int(j)] for j in idx_b],
                          measure, measure_kwargs, use_kernels,
-                         thresholds=thresholds)
+                         thresholds=thresholds, backend=backend)
 
 
 # ------------------------------------------------------- the persistent pool

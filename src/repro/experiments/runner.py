@@ -61,6 +61,10 @@ class ExperimentSettings:
     #: Worker-pool size for the ``process``/``shared`` strategies; None defers
     #: to ``REPRO_ENGINE_MAX_WORKERS`` / the engine default.
     engine_max_workers: int | None = None
+    #: Kernel backend for ground-truth matrix construction (``numpy``,
+    #: ``numba`` or ``auto``); None defers to the process-wide resolution
+    #: (``set_backend`` / ``REPRO_KERNEL_BACKEND`` / auto).
+    kernel_backend: str | None = None
     use_vectorized_kernels: bool = True
     #: Whether training steps run through the mask-aware batched forward
     #: (``encode_batch`` + batched plugin distances).  Defaults to on; the
@@ -77,15 +81,20 @@ class ExperimentSettings:
     def make_engine(self) -> MatrixEngine:
         """Engine instance implied by the settings (default engine when unset)."""
         if (self.engine_strategy is None and self.engine_max_workers is None
-                and self.use_vectorized_kernels):
+                and self.kernel_backend is None and self.use_vectorized_kernels):
             return get_default_engine()
         # Share the default engine's cache so explicitly choosing a strategy does
         # not silently forfeit cache hits — except when kernels are disabled, where
-        # a kernel-computed cache entry would defeat the point of the reference run.
-        cache = get_default_engine().cache if self.use_vectorized_kernels else None
+        # a kernel-computed cache entry would defeat the point of the reference
+        # run, and when a backend is pinned, where a cache entry computed by a
+        # different backend could mask (1e-12-scale) cross-backend differences.
+        cache = (get_default_engine().cache
+                 if self.use_vectorized_kernels and self.kernel_backend is None
+                 else None)
         return MatrixEngine(strategy=self.engine_strategy or "chunked",
                             use_kernels=self.use_vectorized_kernels, cache=cache,
-                            max_workers=self.engine_max_workers)
+                            max_workers=self.engine_max_workers,
+                            backend=self.kernel_backend)
 
 
 def prepare_experiment(settings: ExperimentSettings,

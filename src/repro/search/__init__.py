@@ -28,7 +28,8 @@ from .bounds import (
     available_batch_lower_bounds,
 )
 from .index import TrajectoryIndex
-from .knn import DEFAULT_ABANDON_MEASURES, SearchStats, SearchResult, knn_search
+from .knn import (COMPILED_ABANDON_MEASURES, DEFAULT_ABANDON_MEASURES, SearchStats,
+                  SearchResult, default_abandon_measures, knn_search)
 from .embedding import embedding_topk, IVFEmbeddingIndex, recall_at_k
 from .service import SearchService, PendingQuery, DEFAULT_BATCH_SIZE
 
@@ -38,7 +39,8 @@ __all__ = [
     "register_batch_lower_bound", "get_batch_lower_bound",
     "available_batch_lower_bounds",
     "TrajectoryIndex",
-    "DEFAULT_ABANDON_MEASURES", "SearchStats", "SearchResult", "knn_search",
+    "COMPILED_ABANDON_MEASURES", "DEFAULT_ABANDON_MEASURES", "SearchStats",
+    "SearchResult", "default_abandon_measures", "knn_search",
     "embedding_topk", "IVFEmbeddingIndex", "recall_at_k",
     "SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE",
 ]

@@ -35,16 +35,39 @@ import numpy as np
 from ..engine.executor import CanonicalArrays
 from .index import TrajectoryIndex
 
-__all__ = ["SearchStats", "SearchResult", "knn_search", "DEFAULT_ABANDON_MEASURES"]
+__all__ = ["SearchStats", "SearchResult", "knn_search", "DEFAULT_ABANDON_MEASURES",
+           "COMPILED_ABANDON_MEASURES", "default_abandon_measures"]
 
-#: Measures where in-kernel abandoning is on by default (``abandon=None``).
-#: The bound arithmetic costs roughly one extra sweep per anti-diagonal, so it
-#: pays off where the in-kernel bound is strong or cheap — the min-plus
-#: cost measures (DTW, DITA) and Fréchet's min-max — and is opt-in for the
-#: edit/gap measures (ERP, EDR, LCSS), whose border-heavy bounds cost more
-#: wall-clock than their weaker pruning saves on typical workloads.  Cell-work
-#: always shrinks either way; this default trades on latency.
+#: Measures where in-kernel abandoning is on by default (``abandon=None``)
+#: under the *interpreted* numpy backend.  The bound arithmetic costs roughly
+#: one extra sweep per anti-diagonal, so it pays off where the in-kernel bound
+#: is strong or cheap — the min-plus cost measures (DTW, DITA) and Fréchet's
+#: min-max — and is opt-in for the edit/gap measures (ERP, EDR, LCSS), whose
+#: border-heavy bounds cost more wall-clock than their weaker pruning saves on
+#: typical workloads.  Cell-work always shrinks either way; this default
+#: trades on latency.
 DEFAULT_ABANDON_MEASURES = frozenset({"dtw", "dita", "frechet"})
+
+#: The same default under a *compiled* backend, where the per-row bound check
+#: is a handful of native instructions instead of an interpreter sweep:
+#: abandoning also wins wall-clock for the edit/gap measures, so they join in.
+COMPILED_ABANDON_MEASURES = DEFAULT_ABANDON_MEASURES | frozenset({"erp", "edr", "lcss"})
+
+
+def default_abandon_measures(backend=None) -> frozenset:
+    """Measures that abandon by default under ``backend``.
+
+    ``backend`` is a resolved :class:`~repro.engine.backends.KernelBackend`
+    (None resolves the process-wide active backend): compiled backends get
+    :data:`COMPILED_ABANDON_MEASURES`, interpreted ones the conservative
+    :data:`DEFAULT_ABANDON_MEASURES`.
+    """
+    if backend is None:
+        from ..engine.backends import active_backend
+
+        backend = active_backend()
+    return (COMPILED_ABANDON_MEASURES if getattr(backend, "compiled", False)
+            else DEFAULT_ABANDON_MEASURES)
 
 
 @dataclass
@@ -59,6 +82,9 @@ class SearchStats:
     num_batches: int = 0
     lower_bound_seconds: float = 0.0
     refine_seconds: float = 0.0
+    #: Name of the kernel backend the refinement engine resolved ("" until a
+    #: pass runs; merges keep the first non-empty name).
+    kernel_backend: str = ""
 
     @property
     def pruned_fraction(self) -> float:
@@ -77,6 +103,8 @@ class SearchStats:
         self.num_batches += other.num_batches
         self.lower_bound_seconds += other.lower_bound_seconds
         self.refine_seconds += other.refine_seconds
+        if not self.kernel_backend:
+            self.kernel_backend = other.kernel_backend
 
     def as_dict(self) -> dict:
         return {
@@ -89,6 +117,7 @@ class SearchStats:
             "pruned_fraction": self.pruned_fraction,
             "lower_bound_seconds": self.lower_bound_seconds,
             "refine_seconds": self.refine_seconds,
+            "kernel_backend": self.kernel_backend,
         }
 
 
@@ -142,10 +171,11 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
     abandon:
         Whether refinement batches carry the heap's τ into the kernels as
         per-pair abandon thresholds (in-kernel early abandoning).  ``None``
-        defers to :data:`DEFAULT_ABANDON_MEASURES`; ``False`` always computes
-        full DP tables — the baseline of ``benchmarks/prune_speedup.py``.
-        Either way the result is identical; abandoning only changes how much
-        of a losing candidate's table is built.
+        defers to :func:`default_abandon_measures` for the engine's resolved
+        kernel backend — a compiled backend abandons for the edit/gap measures
+        too; ``False`` always computes full DP tables — the baseline of
+        ``benchmarks/prune_speedup.py``.  Either way the result is identical;
+        abandoning only changes how much of a losing candidate's table is built.
     """
     if not isinstance(index, TrajectoryIndex):
         index = TrajectoryIndex(index)
@@ -157,8 +187,10 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         raise ValueError("k must be positive")
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    backend = engine.resolved_backend() if hasattr(engine, "resolved_backend") else None
     if abandon is None:
-        abandon = isinstance(measure, str) and measure.lower() in DEFAULT_ABANDON_MEASURES
+        abandon = (isinstance(measure, str)
+                   and measure.lower() in default_abandon_measures(backend))
     excluded = _normalise_exclude(exclude)
     num_candidates = sum(1 for i in range(len(index)) if i not in excluded)
     if k > num_candidates:
@@ -223,6 +255,7 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         num_batches=num_batches,
         lower_bound_seconds=lower_bound_seconds,
         refine_seconds=refine_seconds,
+        kernel_backend=backend.name if backend is not None else "",
     )
     return SearchResult(
         indices=np.array([candidate for _, candidate in top], dtype=np.int64),
