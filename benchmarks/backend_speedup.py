@@ -39,6 +39,7 @@ from repro.engine.backends import numba_kernels
 from repro.engine.kernels import get_batch_kernel
 from repro.eval import matrix_build_latency
 from repro.search import TrajectoryIndex, knn_search
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "backend_speedup.json"
 
@@ -212,6 +213,10 @@ def main() -> int:
         record["matrix_build"] = None
         record["abandoning_knn"] = None
 
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -1,0 +1,169 @@
+"""Validate a telemetry JSONL export (and optional snapshot JSON) by schema.
+
+Every line of a ``REPRO_OBS_JSONL`` sink must be a JSON object carrying ``ts``
+(unix seconds, number) and ``kind`` (string); the remaining required fields
+depend on the kind:
+
+* ``span`` — ``name`` (str), ``tags`` (object of str → scalar), ``seconds``
+  (non-negative number), ``depth`` (int ≥ 1);
+* ``training_epoch`` — ``epoch`` (int ≥ 1), ``loss`` (number), ``metrics``
+  (object);
+* ``snapshot`` — ``snapshot`` (object with ``counters`` / ``gauges`` /
+  ``histograms`` objects; histogram states carry count/sum/min/max/buckets
+  with the registry's fixed bucket count).
+
+Unknown kinds fail by default (``--allow-unknown`` downgrades them to a
+warning) — the point of this checker is that the export format is a contract,
+not a convention.  ``--snapshot FILE`` additionally validates a standalone
+snapshot JSON (the artifact ``benchmarks/obs_smoke.py`` writes).
+
+Exit status: 0 when everything validates, 1 otherwise — this is what the CI
+obs smoke job gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from pathlib import Path
+
+from repro.obs import NUM_BUCKETS
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_histogram_state(state, where: str, errors: list[str]) -> None:
+    if not isinstance(state, dict):
+        errors.append(f"{where}: histogram state is not an object")
+        return
+    for field in ("count", "sum", "min", "max", "buckets"):
+        if field not in state:
+            errors.append(f"{where}: histogram state missing '{field}'")
+            return
+    if not isinstance(state["count"], int) or state["count"] < 0:
+        errors.append(f"{where}: count must be a non-negative int")
+    if not _is_number(state["sum"]):
+        errors.append(f"{where}: sum must be a number")
+    for bound in ("min", "max"):
+        if state[bound] is not None and not _is_number(state[bound]):
+            errors.append(f"{where}: {bound} must be a number or null")
+    buckets = state["buckets"]
+    if (not isinstance(buckets, list) or len(buckets) != NUM_BUCKETS
+            or not all(isinstance(b, int) and b >= 0 for b in buckets)):
+        errors.append(f"{where}: buckets must be {NUM_BUCKETS} non-negative ints")
+    elif sum(buckets) != state["count"]:
+        errors.append(f"{where}: bucket counts sum to {sum(buckets)}, "
+                      f"count says {state['count']}")
+
+
+def check_snapshot_dict(snap, where: str, errors: list[str]) -> None:
+    if not isinstance(snap, dict):
+        errors.append(f"{where}: snapshot is not an object")
+        return
+    for family in ("counters", "gauges", "histograms"):
+        if not isinstance(snap.get(family), dict):
+            errors.append(f"{where}: snapshot missing '{family}' object")
+            return
+    for name, value in snap["counters"].items():
+        if not isinstance(value, int):
+            errors.append(f"{where}: counter {name} is not an int")
+    for name, value in snap["gauges"].items():
+        if not _is_number(value):
+            errors.append(f"{where}: gauge {name} is not a number")
+    for name, state in snap["histograms"].items():
+        _check_histogram_state(state, f"{where}: histogram {name}", errors)
+
+
+def check_event(event, where: str, errors: list[str],
+                allow_unknown: bool) -> None:
+    if not isinstance(event, dict):
+        errors.append(f"{where}: line is not a JSON object")
+        return
+    if not _is_number(event.get("ts")):
+        errors.append(f"{where}: 'ts' missing or not a number")
+    kind = event.get("kind")
+    if not isinstance(kind, str):
+        errors.append(f"{where}: 'kind' missing or not a string")
+        return
+    if kind == "span":
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where}: span 'name' missing or empty")
+        tags = event.get("tags")
+        if not isinstance(tags, dict) or not all(
+                isinstance(key, str) for key in tags):
+            errors.append(f"{where}: span 'tags' must map strings")
+        if not _is_number(event.get("seconds")) or event["seconds"] < 0:
+            errors.append(f"{where}: span 'seconds' must be a non-negative number")
+        if not isinstance(event.get("depth"), int) or event["depth"] < 1:
+            errors.append(f"{where}: span 'depth' must be an int >= 1")
+    elif kind == "training_epoch":
+        if not isinstance(event.get("epoch"), int) or event["epoch"] < 1:
+            errors.append(f"{where}: training_epoch 'epoch' must be an int >= 1")
+        if not _is_number(event.get("loss")):
+            errors.append(f"{where}: training_epoch 'loss' must be a number")
+        if not isinstance(event.get("metrics"), dict):
+            errors.append(f"{where}: training_epoch 'metrics' must be an object")
+    elif kind == "snapshot":
+        check_snapshot_dict(event.get("snapshot"), where, errors)
+    elif not allow_unknown:
+        errors.append(f"{where}: unknown event kind {kind!r} "
+                      f"(pass --allow-unknown to tolerate)")
+    else:
+        print(f"warning: {where}: unknown event kind {kind!r}", file=sys.stderr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", type=Path, help="JSONL export to validate")
+    parser.add_argument("--snapshot", type=Path, default=None,
+                        help="standalone snapshot JSON to validate as well")
+    parser.add_argument("--require-kinds", default="",
+                        help="comma-separated kinds that must each appear "
+                             "at least once (e.g. 'training_epoch,snapshot')")
+    parser.add_argument("--allow-unknown", action="store_true",
+                        help="warn on unknown event kinds instead of failing")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    seen_kinds: set[str] = set()
+    lines = [line for line in args.jsonl.read_text().splitlines() if line.strip()]
+    if not lines:
+        errors.append(f"{args.jsonl}: no events")
+    for number, line in enumerate(lines, start=1):
+        where = f"{args.jsonl}:{number}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"{where}: invalid JSON ({error})")
+            continue
+        if isinstance(event, dict) and isinstance(event.get("kind"), str):
+            seen_kinds.add(event["kind"])
+        check_event(event, where, errors, args.allow_unknown)
+
+    for kind in filter(None, (k.strip() for k in args.require_kinds.split(","))):
+        if kind not in seen_kinds:
+            errors.append(f"{args.jsonl}: required event kind {kind!r} never appeared")
+
+    if args.snapshot is not None:
+        try:
+            snap = json.loads(args.snapshot.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            errors.append(f"{args.snapshot}: unreadable ({error})")
+        else:
+            check_snapshot_dict(snap, str(args.snapshot), errors)
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.jsonl}: {len(lines)} events valid "
+          f"({', '.join(sorted(seen_kinds))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

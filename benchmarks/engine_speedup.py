@@ -27,6 +27,7 @@ from repro.data import generate_dataset
 from repro.engine import MatrixEngine, backend_provenance
 from repro.eval import matrix_build_latency, time_callable
 from repro.violation import violation_report
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "engine_speedup.json"
 
@@ -106,6 +107,10 @@ def main() -> int:
         "pairwise": pairwise,
         "violation_report": violation,
     }
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

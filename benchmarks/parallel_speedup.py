@@ -45,6 +45,7 @@ import numpy as np
 from repro.data import generate_dataset
 from repro.engine import MatrixEngine, backend_provenance, shared_memory_available
 from repro.eval import time_callable
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "parallel_speedup.json"
 
@@ -153,6 +154,10 @@ def main() -> int:
         "bytes_floor": BYTES_FLOOR,
         "measures": rows,
     }
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

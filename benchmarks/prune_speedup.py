@@ -33,6 +33,7 @@ from repro.distances import knn_from_matrix
 from repro.engine import (MatrixEngine, backend_provenance, dp_cell_count,
                           reset_dp_cell_count)
 from repro.search import TrajectoryIndex, knn_search
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "prune_speedup.json"
 
@@ -120,6 +121,10 @@ def main() -> int:
         **provenance,
         "measures": rows,
     }
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -30,6 +30,7 @@ from repro.data import generate_dataset
 from repro.distances import cross_distance_matrix, knn_from_matrix
 from repro.engine import MatrixEngine
 from repro.search import SearchService, TrajectoryIndex
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "search_speedup.json"
 
@@ -103,6 +104,10 @@ def main() -> int:
         "platform": platform.platform(),
         "measures": rows,
     }
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -39,6 +39,7 @@ from repro.data import generate_dataset
 from repro.distances import normalize_matrix, pairwise_distance_matrix
 from repro.models import get_model
 from repro.training import SimilarityTrainer
+from repro.obs import snapshot as obs_snapshot
 
 RESULTS_PATH = Path(__file__).parent / "results" / "train_speedup.json"
 
@@ -133,6 +134,10 @@ def main() -> int:
         "best_config": {"model": best["model"], "with_plugin": best["with_plugin"]},
         "configs": rows,
     }
+    # Embed the process-wide telemetry snapshot: counters (DP cell work,
+    # abandons, search traffic) plus any span histograms REPRO_OBS captured,
+    # so the perf trajectory is machine-readable across PRs.
+    record["telemetry"] = obs_snapshot()
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"best speedup {best['speedup']:.1f}x "

@@ -75,6 +75,7 @@ from ..kernels import (
     _abandon_cutoff,
     _as_thresholds,
     _check_batch,
+    _count_abandoned,
     _count_cells,
     _spatial_batch,
     _spatiotemporal_batch,
@@ -819,7 +820,9 @@ def dtw_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _dtw_dp(_cost_matrix(a, b), band_arg, cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "dtw")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "dtw")
     return out
 
 
@@ -839,7 +842,9 @@ def erp_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _erp_dp(_cost_matrix(a, b), gap_a, gap_b, cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "erp")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "erp")
     return out
 
 
@@ -858,7 +863,9 @@ def edr_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _edr_dp(_match_matrix(a, b, epsilon), cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "edr")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "edr")
     return out
 
 
@@ -877,7 +884,9 @@ def lcss_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _lcss_dp(_match_matrix(a, b, epsilon), cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "lcss")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "lcss")
     return out
 
 
@@ -894,7 +903,9 @@ def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _frechet_dp(_cost_matrix(a, b), cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "frechet")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "frechet")
     return out
 
 
@@ -915,7 +926,9 @@ def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         value, cells = _dtw_dp(cost, -1, cutoffs[index])
         out[index] = value
         total += cells
-    _count_cells(total)
+    _count_cells(total, "dita")
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "dita")
     return out
 
 
@@ -926,10 +939,13 @@ def hausdorff_batch(trajectories_a: Sequence, trajectories_b: Sequence,
     cutoffs = _cutoffs(thresholds, len(trajectories_a))
     arrays_a = [_contiguous(a) for a in _spatial_batch(trajectories_a)]
     arrays_b = [_contiguous(b) for b in _spatial_batch(trajectories_b)]
-    return np.array([
+    out = np.array([
         _hausdorff_pair(a, b, cutoffs[index])
         for index, (a, b) in enumerate(zip(arrays_a, arrays_b))
     ])
+    if thresholds is not None:
+        _count_abandoned(int(np.isinf(out).sum()), "hausdorff")
+    return out
 
 
 def sspd_batch(trajectories_a: Sequence, trajectories_b: Sequence,

@@ -33,10 +33,21 @@ variable ``REPRO_ENGINE_MAX_WORKERS``) sizes the ``process``/``shared`` pools.
 the τ-aware batch kernels — the refinement half of the search subsystem's
 bound → τ → in-kernel-abandon cascade.
 
-Both multi-process strategies return per-chunk ``(values, dp_cells)`` pairs
-from their workers and fold the cell counts back into the parent's counter, so
-:func:`repro.engine.dp_cell_count` reports the true kernel cell-work under
-every strategy.
+Both multi-process strategies return per-chunk ``(values, dp_cells,
+obs_delta)`` triples from their workers: the chunk's distances, the DP cells
+its kernels computed, and a serialized :mod:`repro.obs` registry delta
+covering *every* counter and histogram the chunk touched (the total and
+per-measure cell counters among them).  The parent folds the deltas — and
+only the deltas, so cells are never double-counted — after the whole
+dispatch resolves, which keeps :func:`repro.engine.dp_cell_count` and the
+telemetry snapshot equal under every strategy, including across a
+``BrokenProcessPool`` retry.
+
+Telemetry spans (on when ``REPRO_OBS`` says so) bracket each public call
+(``engine.pairs`` / ``engine.pairwise`` / ``engine.cross``, tagged with
+measure and strategy), the shared-memory arena pack (``engine.pack``), each
+pool dispatch (``engine.dispatch``) and each batch-kernel invocation
+(``engine.kernel``, tagged with measure and backend).
 """
 
 from __future__ import annotations
@@ -49,9 +60,12 @@ from typing import Sequence
 import numpy as np
 
 from ..distances.base import get_distance, get_kernel
+from ..obs import registry as obs_registry
+from ..obs import spans as obs_spans
+from ..obs.spans import span
 from .backends import resolve_backend
 from .cache import MatrixCache, cache_key, fingerprint_trajectories
-from .kernels import add_dp_cell_count, dp_cell_count, get_batch_kernel
+from .kernels import dp_cell_count, get_batch_kernel
 
 __all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGIES",
            "DEFAULT_CHUNK_BYTES", "CanonicalArrays", "as_canonical_arrays"]
@@ -156,37 +170,51 @@ def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: d
         if batch is None:
             batch = get_batch_kernel(measure)
         if batch is not None:
-            if thresholds is not None:
-                return np.asarray(batch(list_a, list_b, thresholds=thresholds,
-                                        **measure_kwargs), dtype=np.float64)
-            return np.asarray(batch(list_a, list_b, **measure_kwargs), dtype=np.float64)
+            with span("engine.kernel", measure=measure,
+                      backend=backend.name if backend is not None else "numpy"):
+                if thresholds is not None:
+                    return np.asarray(batch(list_a, list_b, thresholds=thresholds,
+                                            **measure_kwargs), dtype=np.float64)
+                return np.asarray(batch(list_a, list_b, **measure_kwargs),
+                                  dtype=np.float64)
     func = _pair_function(measure, use_kernels, backend)
     return np.array([func(a, b, **measure_kwargs) for a, b in zip(list_a, list_b)],
                     dtype=np.float64)
 
 
 def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
-                  thresholds=None, backend=None):
+                  thresholds=None, backend=None, obs_mode=None):
     """Top-level worker so the process strategy can pickle its tasks.
 
-    Returns ``(values, dp_cells)``: the chunk's distances plus the number of
-    DP cells its kernels computed, which the parent folds into its own
-    counter so cell-work statistics aggregate across processes.
+    Returns ``(values, dp_cells, obs_delta)``: the chunk's distances, the
+    number of DP cells its kernels computed, and a picklable
+    ``Registry.delta_since`` dict covering every telemetry instrument the
+    chunk touched (including those same cells, split per measure, and any
+    span histograms when observability is on).  The parent merges the delta —
+    the ``dp_cells`` element is informational and must *not* be re-added, or
+    cells would double-count.
 
     ``backend`` is the parent's *resolved backend name*; the worker re-resolves
     it on attach (non-strict: a worker without numba degrades to numpy with a
     warning instead of poisoning the pool) and pays JIT warm-up once per
-    process, outside any timed chunk the caller measures.
+    process, outside any timed chunk the caller measures.  ``obs_mode`` is the
+    parent's observability mode at submit time: persistent pool workers may
+    have been forked before the parent (or a test) switched modes, so each
+    chunk re-aligns explicitly instead of trusting fork inheritance.
     """
+    if obs_mode is not None and obs_mode != obs_spans.obs_mode():
+        obs_spans.set_obs_mode(obs_mode)
     resolved = None
     if backend is not None and use_kernels:
         resolved = resolve_backend(backend, strict=False)
         if resolved.compiled:
             resolved.warmup()
+    registry = obs_registry.get_registry()
+    mark = registry.checkpoint()
     before = dp_cell_count()
     values = _chunk_values(list_a, list_b, measure, measure_kwargs, use_kernels,
                            thresholds=thresholds, backend=resolved)
-    return values, dp_cell_count() - before
+    return values, dp_cell_count() - before, registry.delta_since(mark)
 
 
 class MatrixEngine:
@@ -252,44 +280,48 @@ class MatrixEngine:
     # ------------------------------------------------------------- matrix API
     def pairwise(self, trajectories: Sequence, measure="dtw", **measure_kwargs) -> np.ndarray:
         """Symmetric matrix of distances between every pair of ``trajectories``."""
-        arrays = _point_arrays(trajectories)
-        n = len(arrays)
-        key = self._cache_lookup_key(arrays, measure, measure_kwargs, "pairwise")
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        matrix = np.zeros((n, n))
-        if n >= 2:
-            rows, cols = np.triu_indices(n, k=1)
-            values = self._run(arrays, arrays, rows, cols, measure, measure_kwargs)
-            matrix[rows, cols] = values
-            matrix[cols, rows] = values
-        if key is not None:
-            self.cache.put(key, matrix)
-        return matrix
+        with span("engine.pairwise", measure=_measure_tag(measure),
+                  strategy=self.strategy):
+            arrays = _point_arrays(trajectories)
+            n = len(arrays)
+            key = self._cache_lookup_key(arrays, measure, measure_kwargs, "pairwise")
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+            matrix = np.zeros((n, n))
+            if n >= 2:
+                rows, cols = np.triu_indices(n, k=1)
+                values = self._run(arrays, arrays, rows, cols, measure, measure_kwargs)
+                matrix[rows, cols] = values
+                matrix[cols, rows] = values
+            if key is not None:
+                self.cache.put(key, matrix)
+            return matrix
 
     def cross(self, queries: Sequence, database: Sequence, measure="dtw",
               **measure_kwargs) -> np.ndarray:
         """Matrix of distances from every query to every database trajectory."""
-        query_arrays = _point_arrays(queries)
-        database_arrays = _point_arrays(database)
-        key = self._cache_lookup_key(query_arrays + database_arrays, measure,
-                                     measure_kwargs, f"cross:{len(query_arrays)}")
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        matrix = np.zeros((len(query_arrays), len(database_arrays)))
-        if matrix.size:
-            grid = np.indices(matrix.shape)
-            rows, cols = grid[0].ravel(), grid[1].ravel()
-            values = self._run(query_arrays, database_arrays, rows, cols,
-                               measure, measure_kwargs)
-            matrix[rows, cols] = values
-        if key is not None:
-            self.cache.put(key, matrix)
-        return matrix
+        with span("engine.cross", measure=_measure_tag(measure),
+                  strategy=self.strategy):
+            query_arrays = _point_arrays(queries)
+            database_arrays = _point_arrays(database)
+            key = self._cache_lookup_key(query_arrays + database_arrays, measure,
+                                         measure_kwargs, f"cross:{len(query_arrays)}")
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+            matrix = np.zeros((len(query_arrays), len(database_arrays)))
+            if matrix.size:
+                grid = np.indices(matrix.shape)
+                rows, cols = grid[0].ravel(), grid[1].ravel()
+                values = self._run(query_arrays, database_arrays, rows, cols,
+                                   measure, measure_kwargs)
+                matrix[rows, cols] = values
+            if key is not None:
+                self.cache.put(key, matrix)
+            return matrix
 
     def pairs(self, list_a: Sequence, list_b: Sequence, measure="dtw",
               thresholds=None, **measure_kwargs) -> np.ndarray:
@@ -311,20 +343,22 @@ class MatrixEngine:
         distances, so thresholds are purely an optimisation: a finite result is
         always the exact distance.
         """
-        arrays_a = _point_arrays(list_a)
-        arrays_b = _point_arrays(list_b)
-        if len(arrays_a) != len(arrays_b):
-            raise ValueError("pairs() needs aligned lists of equal length")
-        if not arrays_a:
-            return np.zeros(0)
-        if thresholds is not None:
-            thresholds = np.asarray(thresholds, dtype=np.float64)
-            if thresholds.shape != (len(arrays_a),):
-                raise ValueError(f"thresholds must have shape ({len(arrays_a)},), "
-                                 f"got {thresholds.shape}")
-        positions = np.arange(len(arrays_a))
-        return self._run(arrays_a, arrays_b, positions, positions, measure,
-                         measure_kwargs, thresholds=thresholds)
+        with span("engine.pairs", measure=_measure_tag(measure),
+                  strategy=self.strategy):
+            arrays_a = _point_arrays(list_a)
+            arrays_b = _point_arrays(list_b)
+            if len(arrays_a) != len(arrays_b):
+                raise ValueError("pairs() needs aligned lists of equal length")
+            if not arrays_a:
+                return np.zeros(0)
+            if thresholds is not None:
+                thresholds = np.asarray(thresholds, dtype=np.float64)
+                if thresholds.shape != (len(arrays_a),):
+                    raise ValueError(f"thresholds must have shape ({len(arrays_a)},), "
+                                     f"got {thresholds.shape}")
+            positions = np.arange(len(arrays_a))
+            return self._run(arrays_a, arrays_b, positions, positions, measure,
+                             measure_kwargs, thresholds=thresholds)
 
     def violation_statistics(self, matrix: np.ndarray, max_triplets: int | None = None,
                              seed: int = 0, tolerance: float = 1e-12,
@@ -454,12 +488,15 @@ class MatrixEngine:
         self.last_dispatch = {"strategy": "process", "num_chunks": len(chunks),
                               "payload_bytes": int(payload), "arena_bytes": 0,
                               "kernel_backend": backend_name}
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [(positions, pool.submit(_worker_chunk, list_a, list_b, measure,
-                                               measure_kwargs, self.use_kernels, taus,
-                                               backend_name))
-                       for positions, list_a, list_b, taus in chunks]
-            return self._gather_all(futures)
+        mode = obs_spans.obs_mode()
+        with span("engine.dispatch", strategy="process"):
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [(positions,
+                            pool.submit(_worker_chunk, list_a, list_b, measure,
+                                        measure_kwargs, self.use_kernels, taus,
+                                        backend_name, mode))
+                           for positions, list_a, list_b, taus in chunks]
+                return self._gather_all(futures)
 
     def _run_shared(self, arrays_a, arrays_b, rows, cols, plan, measure,
                     measure_kwargs, thresholds,
@@ -500,9 +537,11 @@ class MatrixEngine:
                 table[position] = index
             return table
 
-        slot_a = slot_table(arrays_a)
-        slot_b = slot_a if arrays_b is arrays_a else slot_table(arrays_b)
-        with shared.TrajectoryArena(arena_arrays) as arena:
+        with span("engine.pack", strategy="shared"):
+            slot_a = slot_table(arrays_a)
+            slot_b = slot_a if arrays_b is arrays_a else slot_table(arrays_b)
+            arena_cm = shared.TrajectoryArena(arena_arrays)
+        with arena_cm as arena:
             return self._dispatch_shared(plan, arena, rows, cols, slot_a, slot_b,
                                          measure, measure_kwargs, thresholds,
                                          backend=backend)
@@ -514,6 +553,7 @@ class MatrixEngine:
         from . import shared
 
         backend_name = None if backend is None else backend.name
+        mode = obs_spans.obs_mode()
         payload = 0
         tasks = []
         for positions in plan:
@@ -523,13 +563,13 @@ class MatrixEngine:
                 idx_b = slot_b[cols[positions]]
                 args = (shared.shared_worker_chunk, arena.name, idx_a, idx_b,
                         measure, measure_kwargs, self.use_kernels, taus,
-                        backend_name)
+                        backend_name, mode)
                 payload += idx_a.nbytes + idx_b.nbytes
             else:
                 list_a = [fallback_a[rows[p]] for p in positions]
                 list_b = [fallback_b[cols[p]] for p in positions]
                 args = (_worker_chunk, list_a, list_b, measure, measure_kwargs,
-                        self.use_kernels, taus, backend_name)
+                        self.use_kernels, taus, backend_name, mode)
                 payload += sum(a.nbytes for a in list_a) + sum(b.nbytes for b in list_b)
             payload += 0 if taus is None else taus.nbytes
             tasks.append((positions, args))
@@ -541,8 +581,10 @@ class MatrixEngine:
             pool = shared.get_shared_pool(self.max_workers)
             futures = []
             try:
-                futures = [(positions, pool.submit(*args)) for positions, args in tasks]
-                return self._gather_all(futures)
+                with span("engine.dispatch", strategy="shared"):
+                    futures = [(positions, pool.submit(*args))
+                               for positions, args in tasks]
+                    return self._gather_all(futures)
             except BrokenProcessPool:
                 # A worker died mid-call.  Discard the broken pool and retry the
                 # whole dispatch once on a fresh one; the arena is still linked.
@@ -555,19 +597,27 @@ class MatrixEngine:
 
     @staticmethod
     def _gather_all(futures) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Resolve worker futures, folding their DP cell counts into this process.
+        """Resolve worker futures, folding their telemetry deltas into this process.
+
+        Each worker chunk returns ``(values, dp_cells, obs_delta)``; the delta
+        already contains the chunk's cell counts (total *and* per measure), so
+        merging the deltas is the one and only fold — ``dp_cells`` is never
+        re-added on top, which is what keeps :func:`dp_cell_count` bit-equal
+        to the telemetry counter under every strategy.
 
         The fold happens only once the *whole* dispatch has resolved: a
         ``BrokenProcessPool`` retry re-runs every chunk, so folding as futures
         land would double-count the chunks that resolved before the breakage.
         """
         parts = []
-        cells_total = 0
+        deltas = []
         for positions, future in futures:
-            values, cells = future.result()
+            values, _cells, delta = future.result()
             parts.append((positions, values))
-            cells_total += cells
-        add_dp_cell_count(cells_total)
+            deltas.append(delta)
+        registry = obs_registry.get_registry()
+        for delta in deltas:
+            registry.merge_delta(delta)
         return parts
 
     @staticmethod
@@ -592,6 +642,13 @@ class MatrixEngine:
         from . import shared
 
         shared.reset_shared_pool(self.max_workers)
+
+
+def _measure_tag(measure) -> str:
+    """Span-tag spelling of a measure (callables tag by name, not identity)."""
+    if isinstance(measure, str):
+        return measure
+    return getattr(measure, "__name__", "callable")
 
 
 def _point_arrays(trajectories: Sequence) -> list[np.ndarray]:

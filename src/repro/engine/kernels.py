@@ -40,7 +40,12 @@ The module also keeps a process-local **DP cell-work counter**
 number of DP cells it actually computed, which is how
 ``benchmarks/prune_speedup.py`` measures the work early abandoning saves.  The
 counter is per process — chunks dispatched to a ``process``-strategy pool count
-in the workers, not the parent.
+in the workers, not the parent.  Since the telemetry layer landed the counter
+lives in the :mod:`repro.obs` registry: ``engine.dp_cells`` is the total,
+``engine.dp_cells.<measure>`` splits it per measure, and
+``engine.abandoned.<measure>`` counts pairs the τ-sweep abandoned.  The
+per-measure counters partition the total exactly, and the legacy
+:func:`dp_cell_count` API reads straight through to the registry.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ import numpy as np
 
 from ..distances.base import as_points, register_kernel
 from ..distances.spatiotemporal import spatiotemporal_point_cost
+from ..obs import registry as obs_registry
 
 __all__ = [
     "dtw_kernel",
@@ -96,35 +102,59 @@ def available_batch_kernels() -> list[str]:
 
 # ------------------------------------------------------------ DP cell accounting
 
-_CELL_COUNT = 0
+_CELLS_TOTAL = obs_registry.counter("engine.dp_cells")
+
+
+@lru_cache(maxsize=None)
+def _measure_cell_counter(measure: str):
+    return obs_registry.counter(f"engine.dp_cells.{measure}")
+
+
+@lru_cache(maxsize=None)
+def _measure_abandon_counter(measure: str):
+    return obs_registry.counter(f"engine.abandoned.{measure}")
 
 
 def reset_dp_cell_count() -> None:
-    """Zero the process-local counter of DP cells computed by the kernels."""
-    global _CELL_COUNT
-    _CELL_COUNT = 0
+    """Zero the process-local counters of DP cell work (total, per-measure, abandons)."""
+    registry = obs_registry.get_registry()
+    registry.reset("engine.dp_cells")
+    registry.reset("engine.abandoned")
 
 
 def dp_cell_count() -> int:
-    """DP cells computed by the kernels in this process since the last reset."""
-    return _CELL_COUNT
+    """DP cells computed by the kernels in this process since the last reset.
+
+    Reads the ``engine.dp_cells`` registry counter — the same number the
+    telemetry snapshot reports, kept as the stable benchmark-facing API.
+    """
+    return _CELLS_TOTAL.value
 
 
-def _count_cells(cells: int) -> None:
-    global _CELL_COUNT
-    _CELL_COUNT += int(cells)
+def _count_cells(cells: int, measure: str | None = None) -> None:
+    _CELLS_TOTAL.add(cells)
+    if measure is not None:
+        _measure_cell_counter(measure).add(cells)
+
+
+def _count_abandoned(pairs: int, measure: str) -> None:
+    """Record ``pairs`` τ-abandoned pairs for ``measure``."""
+    if pairs:
+        _measure_abandon_counter(measure).add(pairs)
 
 
 def add_dp_cell_count(cells: int) -> None:
-    """Fold externally computed DP cells into this process's counter.
+    """Fold externally computed DP cells into this process's *total* counter.
 
-    The ``process`` and ``shared`` engine strategies run their kernels in pool
-    workers, whose counters the parent cannot see; each worker chunk reports
-    the cells it computed and the parent adds them here, so
-    :func:`dp_cell_count` stays the single source of truth under every
-    execution strategy.
+    Compatibility shim from before worker telemetry deltas: the ``process``
+    and ``shared`` strategies now return full registry deltas (including the
+    per-measure split) which the parent merges via
+    ``Registry.merge_delta``, so the engine no longer calls this.  It remains
+    for external callers that account cell work measured elsewhere; such
+    cells land in the total only, not in any ``engine.dp_cells.<measure>``
+    counter.
     """
-    _count_cells(cells)
+    _CELLS_TOTAL.add(cells)
 
 
 # --------------------------------------------------------------------- helpers
@@ -279,7 +309,8 @@ def _suffix_max(values: np.ndarray) -> np.ndarray:
 def _sweep_abandoning(mode: str, data: np.ndarray, lengths_a: np.ndarray,
                       lengths_b: np.ndarray, thresholds: np.ndarray,
                       gap_cost_a: np.ndarray | None = None,
-                      gap_cost_b: np.ndarray | None = None) -> np.ndarray:
+                      gap_cost_b: np.ndarray | None = None,
+                      measure: str | None = None) -> np.ndarray:
     """Anti-diagonal sweep with per-pair early abandoning and batch compaction.
 
     ``mode`` selects the recurrence: ``"dtw"`` (min-plus over a cost tensor,
@@ -330,7 +361,12 @@ def _sweep_abandoning(mode: str, data: np.ndarray, lengths_a: np.ndarray,
     match the unthresholded sweep bit for bit.
 
     Returns the final distances with ``+inf`` for abandoned pairs.
+
+    ``measure`` tags the telemetry counters (cells / abandons); it defaults to
+    ``mode`` but differs when a measure borrows another's recurrence (DITA
+    sweeps with ``mode="dtw"`` yet counts as ``"dita"``).
     """
+    measure = measure or mode
     batch, n, m = data.shape
     la = lengths_a.astype(np.int64)
     lb = lengths_b.astype(np.int64)
@@ -434,7 +470,7 @@ def _sweep_abandoning(mode: str, data: np.ndarray, lengths_a: np.ndarray,
         lo, hi = max(1, d - m), min(n, d - 1)
         i_vec = np.arange(lo, hi + 1)
         j_vec = d - i_vec
-        _count_cells(flat.shape[0] * len(i_vec))
+        _count_cells(flat.shape[0] * len(i_vec), measure)
         if mode == "dtw":
             best = np.minimum(flat[:, up], flat[:, left])
             np.minimum(best, flat[:, diagonal], out=best)
@@ -535,6 +571,10 @@ def _sweep_abandoning(mode: str, data: np.ndarray, lengths_a: np.ndarray,
             prev_stat = stat
             dead = alive & (bound > tau)
             if dead.any():
+                # A pair is marked dead at most once (then compacted out or
+                # excluded by ``alive``), so summing here counts each
+                # abandoned pair exactly once.
+                _count_abandoned(int(np.count_nonzero(dead)), measure)
                 alive[dead] = False
 
         if not alive.any():
@@ -593,7 +633,7 @@ def _dtw_single_banded(cost: np.ndarray, band: int,
         if not keep.any():
             continue
         i, j = i[keep], j[keep]
-        _count_cells(len(i))
+        _count_cells(len(i), "dtw")
         best = np.minimum(table[i - 1, j], np.minimum(table[i, j - 1], table[i - 1, j - 1]))
         values = cost[i - 1, j - 1] + best
         table[i, j] = values
@@ -602,6 +642,7 @@ def _dtw_single_banded(cost: np.ndarray, band: int,
         if np.isfinite(threshold):
             stat = float((values + np.maximum(row_rem[i], col_rem[j])).min())
             if min(stat, previous_stat) > cutoff:
+                _count_abandoned(1, "dtw")
                 return np.inf
             previous_stat = stat
     return float(table[n, m])
@@ -630,7 +671,7 @@ def dtw_batch(trajectories_a: Sequence, trajectories_b: Sequence,
     if thresholds is not None:
         return _sweep_abandoning("dtw", cost, lengths_a, lengths_b, thresholds)
     batch, n, m = cost.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "dtw")
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)
@@ -669,7 +710,7 @@ def erp_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         return _sweep_abandoning("erp", cost, lengths_a, lengths_b, thresholds,
                                  gap_cost_a=gap_cost_a, gap_cost_b=gap_cost_b)
     batch, n, m = cost.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "erp")
     table = np.zeros((batch, n + 1, m + 1))
     table[:, 1:, 0] = np.cumsum(gap_cost_a, axis=1)
     table[:, 0, 1:] = np.cumsum(gap_cost_b, axis=1)
@@ -723,7 +764,7 @@ def edr_batch(trajectories_a: Sequence, trajectories_b: Sequence,
     if thresholds is not None:
         return _sweep_abandoning("edr", match, lengths_a, lengths_b, thresholds)
     batch, n, m = match.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "edr")
     table = np.zeros((batch, n + 1, m + 1))
     table[:, :, 0] = np.arange(n + 1)
     table[:, 0, :] = np.arange(m + 1)
@@ -762,7 +803,7 @@ def lcss_batch(trajectories_a: Sequence, trajectories_b: Sequence,
     if thresholds is not None:
         return _sweep_abandoning("lcss", match, lengths_a, lengths_b, thresholds)
     batch, n, m = match.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "lcss")
     table = np.zeros((batch, n + 1, m + 1), dtype=np.int64)
     flat, flat_match = _flatten(table), _flatten(match)
     for current, up, left, diagonal, cost_cells, _, _ in _diagonal_slices(n, m):
@@ -804,7 +845,7 @@ def frechet_batch(trajectories_a: Sequence, trajectories_b: Sequence,
     if thresholds is not None:
         return _sweep_abandoning("frechet", cost, lengths_a, lengths_b, thresholds)
     batch, n, m = cost.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "frechet")
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)
@@ -844,10 +885,12 @@ def dita_batch(trajectories_a: Sequence, trajectories_b: Sequence,
         for index in range(batch)
     ])
     if thresholds is not None:
-        # DITA shares DTW's min-plus recurrence over its blended cost tensor.
-        return _sweep_abandoning("dtw", cost, lengths_a, lengths_b, thresholds)
+        # DITA shares DTW's min-plus recurrence over its blended cost tensor,
+        # but its telemetry counts under its own measure name.
+        return _sweep_abandoning("dtw", cost, lengths_a, lengths_b, thresholds,
+                                 measure="dita")
     _, n, m = cost.shape
-    _count_cells(batch * n * m)
+    _count_cells(batch * n * m, "dita")
     table = np.full((batch, n + 1, m + 1), np.inf)
     table[:, 0, 0] = 0.0
     flat, flat_cost = _flatten(table), _flatten(cost)

@@ -20,8 +20,9 @@ costs:
 * :func:`shared_worker_chunk` — the worker entrypoint: attach to the arena
   (cached per worker process, so a call's many chunks attach once),
   reconstruct read-only views, run the exact same batch-kernel path as the
-  other strategies, and return ``(values, dp_cells)`` so kernel cell-work
-  statistics aggregate across processes.
+  other strategies, and return ``(values, dp_cells, obs_delta)`` so kernel
+  cell-work statistics and the rest of the telemetry registry aggregate
+  across processes.
 
 Lifecycle: the parent creates one arena per engine call, waits for every
 chunk future to settle, then closes *and unlinks* the segment in a
@@ -193,15 +194,18 @@ def _attach_arena(name: str) -> list[np.ndarray]:
 
 
 def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
-                        use_kernels, thresholds=None, backend=None):
-    """Worker entrypoint: arena views → batch kernels → ``(values, dp_cells)``.
+                        use_kernels, thresholds=None, backend=None,
+                        obs_mode=None):
+    """Worker entrypoint: arena views → kernels → ``(values, dp_cells, obs_delta)``.
 
     ``idx_a``/``idx_b`` index trajectories inside the arena; after resolving
     the views this delegates to the ``process`` strategy's worker, so the
-    arithmetic, the ``(values, dp_cells)`` counting contract and the kernel
-    backend resolution (``backend`` is the parent's resolved backend name —
-    the worker re-resolves non-strictly and warms up once per process) are
-    shared with every other strategy and results are bit-identical.
+    arithmetic, the ``(values, dp_cells, obs_delta)`` telemetry contract and
+    the kernel backend resolution (``backend`` is the parent's resolved
+    backend name — the worker re-resolves non-strictly and warms up once per
+    process) are shared with every other strategy and results are
+    bit-identical.  ``obs_mode`` is the parent's observability mode at submit
+    time, forwarded so long-lived pool workers track parent mode switches.
     """
     from .executor import _worker_chunk
 
@@ -209,7 +213,8 @@ def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
     return _worker_chunk([arrays[int(i)] for i in idx_a],
                          [arrays[int(j)] for j in idx_b],
                          measure, measure_kwargs, use_kernels,
-                         thresholds=thresholds, backend=backend)
+                         thresholds=thresholds, backend=backend,
+                         obs_mode=obs_mode)
 
 
 # ------------------------------------------------------- the persistent pool

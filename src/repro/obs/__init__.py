@@ -1,0 +1,60 @@
+"""Unified telemetry for the repro stack.
+
+One process-wide :class:`~repro.obs.registry.Registry` of counters, gauges
+and mergeable log-bucket histograms; a :func:`~repro.obs.spans.span` context
+manager for nested, tagged durations (free when ``REPRO_OBS=off``); and
+exporters (snapshot dict, JSONL streaming via ``REPRO_OBS_JSONL``, a human
+report).  See ARCHITECTURE.md § Observability for the naming convention and
+the worker-delta aggregation contract.
+"""
+
+from .registry import (
+    BUCKET_BOUNDS,
+    NUM_BUCKETS,
+    bucket_index,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    counter,
+    gauge,
+    histogram,
+    snapshot,
+    reset_metrics,
+)
+from .spans import (
+    OBS_ENV,
+    OBS_OFF,
+    OBS_ON,
+    OBS_TRACE,
+    obs_mode,
+    obs_mode_name,
+    obs_enabled,
+    set_obs_mode,
+    span,
+    Span,
+)
+from .export import (
+    JSONL_ENV,
+    jsonl_path,
+    set_jsonl_path,
+    write_event,
+    export_snapshot,
+    format_report,
+)
+
+__all__ = [
+    # registry
+    "BUCKET_BOUNDS", "NUM_BUCKETS", "bucket_index",
+    "Counter", "Gauge", "Histogram", "Registry",
+    "get_registry", "counter", "gauge", "histogram",
+    "snapshot", "reset_metrics",
+    # spans
+    "OBS_ENV", "OBS_OFF", "OBS_ON", "OBS_TRACE",
+    "obs_mode", "obs_mode_name", "obs_enabled", "set_obs_mode",
+    "span", "Span",
+    # export
+    "JSONL_ENV", "jsonl_path", "set_jsonl_path",
+    "write_event", "export_snapshot", "format_report",
+]

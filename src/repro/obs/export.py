@@ -1,0 +1,144 @@
+"""Telemetry exporters: JSONL streaming, snapshot dicts, human report.
+
+Three ways out of the registry:
+
+* :func:`export_snapshot` — the registry snapshot as a plain dict (and,
+  when a JSONL sink is configured, appended as a ``"snapshot"`` event).
+  Benchmark harnesses embed this in their results JSON.
+* JSONL streaming — ``REPRO_OBS_JSONL=path`` (or :func:`set_jsonl_path`)
+  makes :func:`write_event` append one JSON object per line: span events in
+  trace mode, per-epoch training records, and final snapshots all share the
+  sink.  Every line carries ``ts`` (unix seconds) and ``kind``; the schema
+  per kind is validated by ``benchmarks/check_obs_schema.py``.
+* :func:`format_report` — a human-readable table of every counter, gauge
+  and histogram for terminal inspection.
+
+Writes are append-mode and guarded by a module lock, so concurrent threads
+interleave whole lines.  Pool workers do not stream (their registries come
+back to the parent as deltas); only the parent process writes the sink.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from .registry import get_registry
+
+__all__ = [
+    "JSONL_ENV",
+    "jsonl_path",
+    "set_jsonl_path",
+    "write_event",
+    "export_snapshot",
+    "format_report",
+]
+
+JSONL_ENV = "REPRO_OBS_JSONL"
+
+_lock = threading.Lock()
+_path: str | None = None
+_path_from_env = False
+
+
+def jsonl_path() -> str | None:
+    """Active JSONL sink path, if any (explicit set wins over the env)."""
+    global _path, _path_from_env
+    with _lock:
+        if _path is None or _path_from_env:
+            env = os.environ.get(JSONL_ENV, "").strip()
+            _path = env or None
+            _path_from_env = True
+        return _path
+
+
+def set_jsonl_path(path: str | None) -> None:
+    """Point the JSONL sink at ``path`` (``None`` re-reads ``REPRO_OBS_JSONL``)."""
+    global _path, _path_from_env
+    with _lock:
+        if path is None:
+            env = os.environ.get(JSONL_ENV, "").strip()
+            _path = env or None
+            _path_from_env = True
+        else:
+            _path = str(path)
+            _path_from_env = False
+
+
+def write_event(kind: str, payload: dict) -> bool:
+    """Append one ``{"ts", "kind", **payload}`` line to the JSONL sink.
+
+    Returns True if a line was written, False when no sink is configured
+    (the no-sink case is the cheap common path: one lock + one env-cached
+    check).  ``payload`` must be JSON-serializable.
+    """
+    path = jsonl_path()
+    if not path:
+        return False
+    line = json.dumps({"ts": time.time(), "kind": kind, **payload},
+                      default=str)
+    with _lock:
+        with open(path, "a", encoding="utf-8") as sink:
+            sink.write(line + "\n")
+    return True
+
+
+def export_snapshot(registry=None, **extra) -> dict:
+    """Snapshot ``registry`` (default: process registry), streaming it too.
+
+    ``extra`` keys are merged into the snapshot dict (benchmarks use this
+    to stamp provenance like backend and workload size).  When a JSONL sink
+    is active the snapshot is also appended as a ``"snapshot"`` event.
+    """
+    registry = registry if registry is not None else get_registry()
+    snap = registry.snapshot()
+    if extra:
+        snap.update(extra)
+    write_event("snapshot", {"snapshot": snap})
+    return snap
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def format_report(registry=None) -> str:
+    """Human-readable dump of every instrument, one per line."""
+    registry = registry if registry is not None else get_registry()
+    snap = registry.snapshot()
+    lines = ["== telemetry report =="]
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append("-- counters --")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        lines.append("-- gauges --")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    histograms = snap.get("histograms", {})
+    if histograms:
+        lines.append("-- histograms --")
+        width = max(len(name) for name in histograms)
+        for name, state in histograms.items():
+            count = state["count"]
+            if not count:
+                lines.append(f"  {name:<{width}}  count=0")
+                continue
+            mean = state["sum"] / count
+            lines.append(
+                f"  {name:<{width}}  count={count}"
+                f" sum={_format_seconds(state['sum'])}"
+                f" mean={_format_seconds(mean)}"
+                f" min={_format_seconds(state['min'])}"
+                f" max={_format_seconds(state['max'])}")
+    return "\n".join(lines)

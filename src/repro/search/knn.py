@@ -33,6 +33,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..engine.executor import CanonicalArrays
+from ..obs import counter
+from ..obs.spans import span
 from .index import TrajectoryIndex
 
 __all__ = ["SearchStats", "SearchResult", "knn_search", "DEFAULT_ABANDON_MEASURES",
@@ -72,7 +74,24 @@ def default_abandon_measures(backend=None) -> frozenset:
 
 @dataclass
 class SearchStats:
-    """Instrumentation of one (or, aggregated, many) filter-and-refine passes."""
+    """Instrumentation of one (or, aggregated, many) filter-and-refine passes.
+
+    This dataclass is a **pinned schema**: :meth:`as_dict` is the stable
+    contract the query service's ``stats()`` endpoint (and the future HTTP
+    ``/stats``) is built on, and ``tests/test_obs_integration.py`` asserts its
+    exact key set and types.  Two fields deserve spelling out:
+
+    * ``kernel_backend`` — the backend name the refinement engine resolved for
+      the pass (``"numpy"`` / ``"numba"``; ``""`` until a pass runs).
+      :meth:`merge` keeps the *first non-empty* name, so an aggregate reports
+      the backend its earliest pass used rather than pretending to aggregate
+      heterogeneous backends.
+    * Result ordering (tie-break): neighbours are ordered by
+      ``(distance, index)`` ascending — equal distances break toward the
+      smaller database index, matching ``knn_from_matrix``'s stable argsort
+      bit for bit.  The counts here (``num_refined`` vs ``num_pruned``) are
+      defined relative to that deterministic order.
+    """
 
     num_database: int = 0
     num_candidates: int = 0
@@ -107,6 +126,9 @@ class SearchStats:
             self.kernel_backend = other.kernel_backend
 
     def as_dict(self) -> dict:
+        """The pinned stats schema: these exact keys (plus the derived
+        ``pruned_fraction``) and no others — extend deliberately, with the
+        schema test, never ad hoc."""
         return {
             "num_database": self.num_database,
             "num_candidates": self.num_candidates,
@@ -197,12 +219,17 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         raise ValueError(f"k={k} exceeds the {num_candidates} available candidates "
                          f"({len(index)} indexed{', after exclusions' if excluded else ''})")
 
+    # Phase spans mirror the perf_counter fields of SearchStats rather than
+    # replace them: SearchStats must stay populated with REPRO_OBS=off, and a
+    # disabled span measures nothing.
     start = time.perf_counter()
-    bounds = index.lower_bounds(query, measure, **measure_kwargs)
+    with span("search.lower_bound", measure=measure):
+        bounds = index.lower_bounds(query, measure, **measure_kwargs)
     lower_bound_seconds = time.perf_counter() - start
-    order = np.argsort(bounds, kind="stable")
-    if excluded:
-        order = order[~np.isin(order, list(excluded))]
+    with span("search.index_probe", measure=measure):
+        order = np.argsort(bounds, kind="stable")
+        if excluded:
+            order = order[~np.isin(order, list(excluded))]
 
     query_points = np.asarray(getattr(query, "points", query), dtype=np.float64)
     heap: list[tuple[float, int]] = []  # (-distance, -index): root = current worst
@@ -211,38 +238,40 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
     num_batches = 0
     num_abandoned = 0
     position = 0
-    while position < len(order):
-        tau = -heap[0][0] if len(heap) == k else np.inf
-        batch: list[int] = []
-        while (position < len(order) and len(batch) < batch_size
-               and (len(heap) < k or bounds[order[position]] <= tau)):
-            batch.append(int(order[position]))
-            position += 1
-        if not batch:
-            break  # every remaining bound is strictly above τ — abandon the tail
-        # With a full heap, refine under per-pair abandon thresholds: a pair whose
-        # in-kernel lower bound exceeds τ comes back as +inf, which — because τ
-        # only shrinks — can never displace a heap entry nor reach the top-k.
-        thresholds = (np.full(len(batch), tau)
-                      if abandon and np.isfinite(tau) else None)
-        start = time.perf_counter()
-        # Both sides ride through as CanonicalArrays: the engine skips its
-        # per-call asarray walk over database trajectories it has seen before.
-        distances = engine.pairs(CanonicalArrays([query_points] * len(batch)),
-                                 CanonicalArrays([index.arrays[i] for i in batch]),
-                                 measure, thresholds=thresholds, **measure_kwargs)
-        refine_seconds += time.perf_counter() - start
-        num_batches += 1
-        if thresholds is not None:
-            num_abandoned += int(np.isinf(distances).sum())
-        for candidate, distance in zip(batch, distances):
-            distance = float(distance)
-            refined.append((distance, candidate))
-            item = (-distance, -candidate)
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif item > heap[0]:
-                heapq.heapreplace(heap, item)
+    with span("search.refine", measure=measure):
+        while position < len(order):
+            tau = -heap[0][0] if len(heap) == k else np.inf
+            batch: list[int] = []
+            while (position < len(order) and len(batch) < batch_size
+                   and (len(heap) < k or bounds[order[position]] <= tau)):
+                batch.append(int(order[position]))
+                position += 1
+            if not batch:
+                break  # every remaining bound is strictly above τ — abandon the tail
+            # With a full heap, refine under per-pair abandon thresholds: a pair
+            # whose in-kernel lower bound exceeds τ comes back as +inf, which —
+            # because τ only shrinks — can never displace a heap entry nor reach
+            # the top-k.
+            thresholds = (np.full(len(batch), tau)
+                          if abandon and np.isfinite(tau) else None)
+            start = time.perf_counter()
+            # Both sides ride through as CanonicalArrays: the engine skips its
+            # per-call asarray walk over database trajectories it has seen before.
+            distances = engine.pairs(CanonicalArrays([query_points] * len(batch)),
+                                     CanonicalArrays([index.arrays[i] for i in batch]),
+                                     measure, thresholds=thresholds, **measure_kwargs)
+            refine_seconds += time.perf_counter() - start
+            num_batches += 1
+            if thresholds is not None:
+                num_abandoned += int(np.isinf(distances).sum())
+            for candidate, distance in zip(batch, distances):
+                distance = float(distance)
+                refined.append((distance, candidate))
+                item = (-distance, -candidate)
+                if len(heap) < k:
+                    heapq.heappush(heap, item)
+                elif item > heap[0]:
+                    heapq.heapreplace(heap, item)
 
     refined.sort()
     top = refined[:k]
@@ -257,6 +286,14 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         refine_seconds=refine_seconds,
         kernel_backend=backend.name if backend is not None else "",
     )
+    # Always-on registry counters (cheap integer adds, REPRO_OBS-independent):
+    # the search-layer traffic totals every snapshot reports.
+    counter("search.queries").add(1)
+    counter("search.candidates").add(stats.num_candidates)
+    counter("search.refined").add(stats.num_refined)
+    counter("search.pruned").add(stats.num_pruned)
+    counter("search.abandoned").add(stats.num_abandoned)
+    counter("search.batches").add(stats.num_batches)
     return SearchResult(
         indices=np.array([candidate for _, candidate in top], dtype=np.int64),
         distances=np.array([distance for distance, _ in top]),

@@ -14,9 +14,18 @@ does not have:
 * **result caching** — answers are cached under the same content-addressed
   scheme as the matrix cache (query fingerprint + index fingerprint + measure +
   kwargs + k), so repeated queries are served without touching the engine;
-* **statistics** — per-service totals (queries, cache hits, latency, pruning
-  ratios) consumed by ``eval.efficiency.search_latency`` and the search
-  micro-benchmark.
+* **statistics** — per-service totals (queries, cache hits/misses, latency,
+  batch-fill and pruning ratios) consumed by ``eval.efficiency.search_latency``
+  and the search micro-benchmark.
+
+Serving statistics live in a per-service :class:`repro.obs.Registry` (so two
+services never blur each other's traffic) and are mirrored into the
+process-wide registry under the same ``service.*`` names for unified
+snapshots.  :meth:`SearchService.stats` is the **pinned flat schema** the
+future HTTP ``/stats`` endpoint will serve — its exact key set and types are
+asserted by ``tests/test_obs_integration.py`` — while
+:meth:`SearchService.snapshot` exposes the raw registry (counters plus full
+batch-fill / flush-latency histograms).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from ..engine.cache import cache_key, fingerprint_trajectories
+from ..obs.registry import Registry, get_registry
 from .index import TrajectoryIndex
 from .knn import SearchResult, SearchStats, knn_search
 
@@ -97,14 +107,47 @@ class SearchService:
         self._cache: OrderedDict[str, SearchResult] = OrderedDict()
         self._pending: list[tuple[str, object, int, object, PendingQuery]] = []
         self._totals = SearchStats()
-        self.queries_served = 0
-        self.cache_hits = 0
-        self.batches_flushed = 0
-        self.total_latency_seconds = 0.0
+        #: Per-service telemetry scope; every ``service.*`` instrument is also
+        #: mirrored into the process-wide registry for unified snapshots.
+        self.registry = Registry()
 
     def __repr__(self) -> str:
         return (f"SearchService(size={len(self.index)}, measure={self.measure!r}, "
                 f"batch_size={self.batch_size}, served={self.queries_served})")
+
+    # ------------------------------------------------------------- telemetry
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(name).add(amount)
+        get_registry().counter(name).add(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.registry.histogram(name).observe(value)
+        get_registry().histogram(name).observe(value)
+
+    @property
+    def queries_served(self) -> int:
+        """Queries resolved (cache hits included; failed queries excluded)."""
+        return self.registry.counter("service.queries").value
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered straight from the content-addressed result cache."""
+        return self.registry.counter("service.cache_hits").value
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that had to run the filter-and-refine path."""
+        return self.registry.counter("service.cache_misses").value
+
+    @property
+    def batches_flushed(self) -> int:
+        """Micro-batch flushes (size-triggered and on-demand alike)."""
+        return self.registry.counter("service.flushes").value
+
+    @property
+    def total_latency_seconds(self) -> float:
+        """Wall-clock spent inside :meth:`flush` (the flush-histogram sum)."""
+        return self.registry.histogram("service.flush_seconds").total
 
     # ------------------------------------------------------------------ serving
     def submit(self, query, k: int | None = None, exclude=None) -> PendingQuery:
@@ -141,12 +184,14 @@ class SearchService:
         if not pending:
             return 0
         start = time.perf_counter()
+        self._observe("service.batch_fill", len(pending))
         for key, query, k, exclude, handle in pending:
             cached = self._cache_get(key)
             if cached is not None:
-                self.cache_hits += 1
+                self._count("service.cache_hits")
                 handle._result = cached
             else:
+                self._count("service.cache_misses")
                 try:
                     result = knn_search(self.index, query, k, measure=self.measure,
                                         engine=self.engine,
@@ -159,9 +204,9 @@ class SearchService:
                 self._totals.merge(result.stats)
                 self._cache_put(key, result)
                 handle._result = result
-            self.queries_served += 1
-        self.batches_flushed += 1
-        self.total_latency_seconds += time.perf_counter() - start
+            self._count("service.queries")
+        self._count("service.flushes")
+        self._observe("service.flush_seconds", time.perf_counter() - start)
         return len(pending)
 
     # -------------------------------------------------------------------- cache
@@ -189,7 +234,14 @@ class SearchService:
 
     # -------------------------------------------------------------------- stats
     def stats(self) -> dict:
-        """Serving totals: traffic, latency and aggregated pruning statistics."""
+        """Serving totals: traffic, latency and aggregated pruning statistics.
+
+        This flat dict is a **pinned schema** (see ``tests/test_obs_integration.py``):
+        the service-level keys below plus exactly ``SearchStats.as_dict()``.
+        ``batch_fill`` summarises the micro-batch occupancy histogram
+        (count/sum/min/max/mean over flushes).  ``kernel_backend`` and the
+        result tie-break semantics are documented on :class:`SearchStats`.
+        """
         served = max(self.queries_served, 1)
         report = {
             "database_size": len(self.index),
@@ -197,9 +249,15 @@ class SearchService:
             "batch_size": self.batch_size,
             "queries_served": self.queries_served,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "batches_flushed": self.batches_flushed,
+            "batch_fill": self.registry.histogram("service.batch_fill").summary(),
             "total_latency_seconds": self.total_latency_seconds,
             "mean_latency_seconds": self.total_latency_seconds / served,
         }
         report.update(self._totals.as_dict())
         return report
+
+    def snapshot(self) -> dict:
+        """This service's raw telemetry registry snapshot (counters + histograms)."""
+        return self.registry.snapshot()

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+from ..obs import obs_enabled, write_event
+
 __all__ = ["TrainingHistory", "EarlyStopping"]
 
 
 class TrainingHistory:
-    """Per-epoch record of the training loss and any evaluation metrics."""
+    """Per-epoch record of the training loss and any evaluation metrics.
+
+    With observability on (``REPRO_OBS``) and a JSONL sink configured
+    (``REPRO_OBS_JSONL``), every recorded epoch is also streamed as a
+    ``"training_epoch"`` event through the shared telemetry exporter, so a
+    long run's loss curve is tailable while it trains.
+    """
 
     def __init__(self):
         self.epochs: list[int] = []
@@ -18,6 +26,10 @@ class TrainingHistory:
         self.epochs.append(epoch)
         self.losses.append(float(loss))
         self.metrics.append(dict(metrics) if metrics else {})
+        if obs_enabled():
+            write_event("training_epoch", {"epoch": int(epoch),
+                                           "loss": float(loss),
+                                           "metrics": self.metrics[-1]})
 
     def metric_curve(self, name: str) -> list[float]:
         """The per-epoch values of one recorded metric (missing epochs are skipped)."""

@@ -23,12 +23,14 @@ without touching code, mirroring ``REPRO_ENGINE_STRATEGY``.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..core import LHPlugin
 from ..data import Normalizer, TrajectoryDataset
+from ..obs import histogram, obs_enabled
 from ..nn import (
     Adam,
     Tensor,
@@ -203,28 +205,59 @@ class SimilarityTrainer:
                               seed=self.seed, lengths=lengths,
                               length_buckets=self.length_buckets)
 
+        # Epoch phase timings are gated on REPRO_OBS: when off, the loop pays
+        # one boolean check per segment and no clock reads.
+        observing = obs_enabled()
         for epoch in range(1, epochs + 1):
+            epoch_start = time.perf_counter() if observing else 0.0
+            encode_seconds = loss_seconds = step_seconds = 0.0
             pairs = sampler.epoch_pairs()
             epoch_loss = 0.0
             num_batches = 0
+            mark = 0.0
             for start in range(0, len(pairs), self.batch_size):
                 batch = pairs[start:start + self.batch_size]
+                if observing:
+                    mark = time.perf_counter()
                 if self.batched:
                     predicted = self._batched_predictions(batch, prepared, point_sequences)
                 else:
                     predictions = self._batch_predictions(batch, prepared, point_sequences)
                     predicted = stack([p.reshape(1) for p in predictions],
                                       axis=0).reshape(len(batch))
+                if observing:
+                    now = time.perf_counter()
+                    encode_seconds += now - mark
+                    mark = now
                 loss = self.loss_fn(predicted, Tensor(sampler.targets_of(batch)))
+                if observing:
+                    now = time.perf_counter()
+                    loss_seconds += now - mark
+                    mark = now
                 self.optimizer.zero_grad()
                 loss.backward()
                 if self.clip_norm:
                     clip_grad_norm(self.optimizer.parameters, self.clip_norm)
                 self.optimizer.step()
+                if observing:
+                    # The "step" segment covers the whole backward-and-update
+                    # half: zero_grad, backward, clipping and the Adam step.
+                    step_seconds += time.perf_counter() - mark
                 epoch_loss += float(loss.data)
                 num_batches += 1
             mean_loss = epoch_loss / max(num_batches, 1)
             metrics = eval_fn() if eval_fn is not None else None
+            if observing:
+                epoch_seconds = time.perf_counter() - epoch_start
+                histogram("train.epoch_seconds").observe(epoch_seconds)
+                histogram("train.encode_seconds").observe(encode_seconds)
+                histogram("train.loss_seconds").observe(loss_seconds)
+                histogram("train.step_seconds").observe(step_seconds)
+                metrics = dict(metrics or {})
+                metrics.update(epoch_seconds=epoch_seconds,
+                               encode_seconds=encode_seconds,
+                               loss_seconds=loss_seconds,
+                               step_seconds=step_seconds)
             self.history.record(epoch, mean_loss, metrics)
             if verbose:
                 print(f"epoch {epoch}: loss={mean_loss:.4f}"

@@ -1,0 +1,281 @@
+"""Unit tests for the telemetry registry: instruments, deltas, merging, safety."""
+
+import math
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs import registry as obs_registry
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    NUM_BUCKETS,
+    Registry,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_bounds_are_powers_of_two(self):
+        assert BUCKET_BOUNDS[0] == 2.0 ** -30
+        assert BUCKET_BOUNDS[-1] == 2.0 ** 10
+        assert NUM_BUCKETS == len(BUCKET_BOUNDS) + 1
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-5.0) == 0
+        assert bucket_index(1e-12) == 0
+
+    def test_overflow_bucket(self):
+        assert bucket_index(2.0 ** 10) == NUM_BUCKETS - 2
+        assert bucket_index(2.0 ** 10 + 1) == NUM_BUCKETS - 1
+        assert bucket_index(math.inf) == NUM_BUCKETS - 1
+
+    def test_exact_powers_belong_to_lower_bucket(self):
+        # Buckets cover (lower, upper]: an exact power of two is its bucket's
+        # *upper* boundary, one off from the next value up.
+        for exponent in range(-29, 10):
+            value = 2.0 ** exponent
+            assert BUCKET_BOUNDS[bucket_index(value)] == value
+            assert bucket_index(math.nextafter(value, math.inf)) \
+                == bucket_index(value) + 1
+
+    def test_every_bucket_reachable_and_consistent_with_bounds(self):
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            assert bucket_index(bound) == index
+        # Midpoints fall in the bucket whose upper bound covers them.
+        for index in range(1, len(BUCKET_BOUNDS)):
+            midpoint = (BUCKET_BOUNDS[index - 1] + BUCKET_BOUNDS[index]) / 2
+            assert bucket_index(midpoint) == index
+
+
+class TestInstruments:
+    def test_counter_add_and_reset(self):
+        registry = Registry()
+        counter = registry.counter("c")
+        counter.add()
+        counter.add(41)
+        assert counter.value == 42
+        counter.reset()
+        assert counter.value == 0
+
+    def test_counter_get_or_create_is_stable(self):
+        registry = Registry()
+        assert registry.counter("same") is registry.counter("same")
+
+    def test_gauge_last_write_wins(self):
+        registry = Registry()
+        gauge = registry.gauge("g")
+        gauge.set(1.5)
+        gauge.set(-3.0)
+        assert gauge.value == -3.0
+
+    def test_histogram_tracks_count_sum_min_max_buckets(self):
+        registry = Registry()
+        hist = registry.histogram("h")
+        for value in (0.25, 0.5, 3.0):
+            hist.observe(value)
+        state = hist.state()
+        assert state["count"] == 3
+        assert state["sum"] == 3.75
+        assert state["min"] == 0.25
+        assert state["max"] == 3.0
+        assert sum(state["buckets"]) == 3
+
+    def test_empty_histogram_state_and_summary(self):
+        hist = Registry().histogram("h")
+        assert hist.state()["min"] is None
+        summary = hist.summary()
+        assert summary == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                           "mean": None}
+
+    def test_summary_mean(self):
+        hist = Registry().histogram("h")
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.summary()["mean"] == 2.0
+
+    def test_registry_reset_by_prefix(self):
+        registry = Registry()
+        registry.counter("engine.dp_cells").add(5)
+        registry.counter("search.queries").add(2)
+        registry.reset("engine.")
+        assert registry.counter("engine.dp_cells").value == 0
+        assert registry.counter("search.queries").value == 2
+
+    def test_snapshot_is_json_shaped(self):
+        registry = Registry()
+        registry.counter("c").add(1)
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestDeltas:
+    def test_counter_delta_roundtrip(self):
+        worker = Registry()
+        worker.counter("c").add(3)
+        mark = worker.checkpoint()
+        worker.counter("c").add(7)
+        worker.counter("new").add(1)
+        delta = worker.delta_since(mark)
+        assert delta["counters"] == {"c": 7, "new": 1}
+
+        parent = Registry()
+        parent.counter("c").add(100)
+        parent.merge_delta(delta)
+        assert parent.counter("c").value == 107
+        assert parent.counter("new").value == 1
+
+    def test_histogram_delta_roundtrip(self):
+        worker = Registry()
+        worker.histogram("h").observe(0.5)
+        mark = worker.checkpoint()
+        worker.histogram("h").observe(2.0)
+        worker.histogram("h").observe(4.0)
+        delta = worker.delta_since(mark)
+        state = delta["histograms"]["h"]
+        assert state["count"] == 2
+        assert state["sum"] == 6.0
+        assert sum(state["buckets"]) == 2
+
+        parent = Registry()
+        parent.merge_delta(delta)
+        merged = parent.histogram("h").state()
+        assert merged["count"] == 2
+        assert merged["sum"] == 6.0
+
+    def test_empty_delta_is_empty(self):
+        registry = Registry()
+        registry.counter("c").add(1)
+        registry.histogram("h").observe(1.0)
+        mark = registry.checkpoint()
+        delta = registry.delta_since(mark)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merge_none_is_noop(self):
+        registry = Registry()
+        registry.merge_delta(None)
+        registry.merge_delta({})
+        assert registry.snapshot()["counters"] == {}
+
+    def test_delta_is_picklable(self):
+        import pickle
+
+        worker = Registry()
+        mark = worker.checkpoint()
+        worker.counter("c").add(1)
+        worker.histogram("h").observe(0.5)
+        delta = pickle.loads(pickle.dumps(worker.delta_since(mark)))
+        parent = Registry()
+        parent.merge_delta(delta)
+        assert parent.counter("c").value == 1
+
+
+class TestMergeAssociativity:
+    """Histogram merging must be a true associative, commutative fold."""
+
+    @staticmethod
+    def _histogram_of(observations):
+        registry = Registry()
+        hist = registry.histogram("h")
+        for value in observations:
+            hist.observe(value)
+        return hist
+
+    def test_bucket_merge_associative_and_commutative(self):
+        # Dyadic-rational observations (k/8) make the float sums exact, so
+        # full-state equality — buckets, count, sum, min, max — must hold for
+        # every grouping and ordering of the merge.
+        groups = [
+            [1 / 8, 3 / 8, 200.0],
+            [5 / 8, 2.0 ** -29],
+            [7 / 8, 9 / 8, 2.0 ** 11],
+        ]
+        a, b, c = (self._histogram_of(group).state() for group in groups)
+
+        def merged(*states):
+            target = Registry().histogram("m")
+            for state in states:
+                target.merge_state(state)
+            return target.state()
+
+        left = merged(merged(a, b), c)
+        right = merged(a, merged(b, c))
+        flat = merged(a, b, c)
+        reordered = merged(c, a, b)
+        reference = self._histogram_of(
+            [v for group in groups for v in group]).state()
+        assert left == right == flat == reordered == reference
+
+    def test_merge_with_empty_state_is_identity(self):
+        state = self._histogram_of([0.5, 1.5]).state()
+        empty = Registry().histogram("e").state()
+        target = Registry().histogram("t")
+        target.merge_state(empty)
+        target.merge_state(state)
+        target.merge_state(empty)
+        assert target.state() == state
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_all_land(self):
+        registry = Registry()
+        counter = registry.counter("c")
+        threads_count, per_thread = 8, 10_000
+
+        def work():
+            for _ in range(per_thread):
+                counter.add(1)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == threads_count * per_thread
+
+    def test_concurrent_histogram_observes_all_land(self):
+        registry = Registry()
+        hist = registry.histogram("h")
+        threads_count, per_thread = 4, 2_000
+
+        def work():
+            for _ in range(per_thread):
+                hist.observe(0.5)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        state = hist.state()
+        assert state["count"] == threads_count * per_thread
+        assert sum(state["buckets"]) == state["count"]
+
+
+def _process_worker(amount: int) -> dict:
+    """Increment the process-default registry and return the delta (module-level
+    so ProcessPoolExecutor can pickle it)."""
+    registry = obs_registry.get_registry()
+    mark = registry.checkpoint()
+    registry.counter("proc.test").add(amount)
+    registry.histogram("proc.hist").observe(float(amount))
+    return registry.delta_since(mark)
+
+
+class TestProcessSafety:
+    def test_worker_deltas_merge_exactly(self):
+        parent = obs_registry.get_registry()
+        before_counter = parent.counter("proc.test").value
+        before_hist = parent.histogram("proc.hist").state()["count"]
+        amounts = [1, 2, 3, 4, 5, 6]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            deltas = list(pool.map(_process_worker, amounts))
+        for delta in deltas:
+            parent.merge_delta(delta)
+        assert parent.counter("proc.test").value - before_counter == sum(amounts)
+        assert parent.histogram("proc.hist").state()["count"] - before_hist \
+            == len(amounts)
