@@ -71,7 +71,13 @@ def cosh_projection(x: np.ndarray, beta: float = 1.0, c: float = 4.0) -> np.ndar
     euclidean_norm = np.sqrt(squared)
     sqrt_beta = np.sqrt(beta)
     time_like = sqrt_beta * np.cosh(magnitude)
-    scale = sqrt_beta * np.sinh(magnitude) / np.maximum(euclidean_norm, _EPS)
+    # sinh(m)/‖x‖ is a finite float for every nonzero norm (denormals included),
+    # so only ‖x‖ = 0 needs guarding — and there sinh(m) = 0 already zeroes the
+    # spatial block.  A fixed _EPS floor on the denominator would push points
+    # with 0 < ‖x‖ < _EPS off the hyperboloid by sinh²(m): large-c compression
+    # keeps m non-negligible for norms far below any constant threshold.
+    safe_norm = np.where(euclidean_norm > 0.0, euclidean_norm, 1.0)
+    scale = sqrt_beta * np.sinh(magnitude) / safe_norm
     return np.concatenate([time_like, x * scale], axis=-1)
 
 
@@ -107,7 +113,11 @@ def projection_scalars(x: np.ndarray, beta: float = 1.0, c: float = 4.0,
         magnitude = norm_compression(squared, c)
         sqrt_beta = np.sqrt(beta)
         time_like = sqrt_beta * np.cosh(magnitude)
-        scale = sqrt_beta * np.sinh(magnitude) / np.maximum(np.sqrt(squared), _EPS)
+        # Same zero-only guard as cosh_projection: a fixed floor would distort
+        # sub-_EPS norms off the hyperboloid.
+        euclidean_norm = np.sqrt(squared)
+        safe_norm = np.where(euclidean_norm > 0.0, euclidean_norm, 1.0)
+        scale = sqrt_beta * np.sinh(magnitude) / safe_norm
         return time_like, scale
     raise ValueError(f"unknown projection method '{method}'")
 

@@ -56,12 +56,21 @@ from .executor import (
     set_default_engine,
 )
 from .shared import (
+    ArenaCapacityError,
     TrajectoryArena,
     get_shared_pool,
     live_arena_names,
     reset_shared_pool,
     shared_memory_available,
     shutdown_shared_pools,
+)
+from .arena_cache import (
+    ARENA_CACHE_ENV,
+    DEFAULT_ARENA_CACHE_BYTES,
+    ArenaCache,
+    CachedArena,
+    get_arena_cache,
+    reset_arena_cache,
 )
 
 __all__ = [
@@ -75,6 +84,9 @@ __all__ = [
     "STRATEGIES", "DEFAULT_CHUNK_BYTES", "MatrixEngine",
     "CanonicalArrays", "as_canonical_arrays",
     "get_default_engine", "set_default_engine",
-    "TrajectoryArena", "shared_memory_available", "get_shared_pool",
-    "reset_shared_pool", "shutdown_shared_pools", "live_arena_names",
+    "ArenaCapacityError", "TrajectoryArena", "shared_memory_available",
+    "get_shared_pool", "reset_shared_pool", "shutdown_shared_pools",
+    "live_arena_names",
+    "ARENA_CACHE_ENV", "DEFAULT_ARENA_CACHE_BYTES", "ArenaCache", "CachedArena",
+    "get_arena_cache", "reset_arena_cache",
 ]

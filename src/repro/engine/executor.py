@@ -278,8 +278,14 @@ class MatrixEngine:
         return resolve_backend(self.backend)
 
     # ------------------------------------------------------------- matrix API
-    def pairwise(self, trajectories: Sequence, measure="dtw", **measure_kwargs) -> np.ndarray:
-        """Symmetric matrix of distances between every pair of ``trajectories``."""
+    def pairwise(self, trajectories: Sequence, measure="dtw", arena=None,
+                 **measure_kwargs) -> np.ndarray:
+        """Symmetric matrix of distances between every pair of ``trajectories``.
+
+        ``arena`` — an optional pinned :class:`~repro.engine.arena_cache.CachedArena`
+        already packing (some of) the trajectories; under the ``shared``
+        strategy the dispatch reuses it instead of packing a per-call arena.
+        """
         with span("engine.pairwise", measure=_measure_tag(measure),
                   strategy=self.strategy):
             arrays = _point_arrays(trajectories)
@@ -292,7 +298,8 @@ class MatrixEngine:
             matrix = np.zeros((n, n))
             if n >= 2:
                 rows, cols = np.triu_indices(n, k=1)
-                values = self._run(arrays, arrays, rows, cols, measure, measure_kwargs)
+                values = self._run(arrays, arrays, rows, cols, measure,
+                                   measure_kwargs, arena=arena)
                 matrix[rows, cols] = values
                 matrix[cols, rows] = values
             if key is not None:
@@ -300,8 +307,11 @@ class MatrixEngine:
             return matrix
 
     def cross(self, queries: Sequence, database: Sequence, measure="dtw",
-              **measure_kwargs) -> np.ndarray:
-        """Matrix of distances from every query to every database trajectory."""
+              arena=None, **measure_kwargs) -> np.ndarray:
+        """Matrix of distances from every query to every database trajectory.
+
+        ``arena`` — optional pinned cached arena, as on :meth:`pairwise`.
+        """
         with span("engine.cross", measure=_measure_tag(measure),
                   strategy=self.strategy):
             query_arrays = _point_arrays(queries)
@@ -317,14 +327,14 @@ class MatrixEngine:
                 grid = np.indices(matrix.shape)
                 rows, cols = grid[0].ravel(), grid[1].ravel()
                 values = self._run(query_arrays, database_arrays, rows, cols,
-                                   measure, measure_kwargs)
+                                   measure, measure_kwargs, arena=arena)
                 matrix[rows, cols] = values
             if key is not None:
                 self.cache.put(key, matrix)
             return matrix
 
     def pairs(self, list_a: Sequence, list_b: Sequence, measure="dtw",
-              thresholds=None, **measure_kwargs) -> np.ndarray:
+              thresholds=None, arena=None, **measure_kwargs) -> np.ndarray:
         """Distances for aligned trajectory pairs ``(list_a[i], list_b[i])``.
 
         This is the refinement primitive of the search subsystem: a top-k query
@@ -342,6 +352,14 @@ class MatrixEngine:
         without a batch kernel (and ``use_kernels=False``) compute full
         distances, so thresholds are purely an optimisation: a finite result is
         always the exact distance.
+
+        ``arena`` — an optional pinned
+        :class:`~repro.engine.arena_cache.CachedArena` that already packs the
+        database side of the pairs (the serving fast path): under the
+        ``shared`` strategy, multi-chunk dispatch resolves each array to its
+        cached arena slot instead of packing a fresh per-call arena, and the
+        few arrays outside the arena (typically just the query) ride along
+        pickled.  Other strategies ignore it.
         """
         with span("engine.pairs", measure=_measure_tag(measure),
                   strategy=self.strategy):
@@ -358,7 +376,7 @@ class MatrixEngine:
                                      f"got {thresholds.shape}")
             positions = np.arange(len(arrays_a))
             return self._run(arrays_a, arrays_b, positions, positions, measure,
-                             measure_kwargs, thresholds=thresholds)
+                             measure_kwargs, thresholds=thresholds, arena=arena)
 
     def violation_statistics(self, matrix: np.ndarray, max_triplets: int | None = None,
                              seed: int = 0, tolerance: float = 1e-12,
@@ -415,7 +433,7 @@ class MatrixEngine:
         return chunks
 
     def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs,
-             thresholds=None) -> np.ndarray:
+             thresholds=None, arena=None) -> np.ndarray:
         # Resolve the kernel backend once per run (cheap dict lookups): the
         # engine's explicit backend, else set_backend()/env/auto.  Kernel-less
         # engines never resolve — the reference loop is backend-free.
@@ -461,7 +479,8 @@ class MatrixEngine:
             ]
         elif self.strategy == "shared":
             parts = self._run_shared(arrays_a, arrays_b, rows, cols, plan,
-                                     measure, measure_kwargs, thresholds, backend)
+                                     measure, measure_kwargs, thresholds, backend,
+                                     packed=arena)
         else:
             parts = self._run_process(arrays_a, arrays_b, rows, cols, plan,
                                       measure, measure_kwargs, thresholds, backend)
@@ -487,6 +506,7 @@ class MatrixEngine:
         payload += sum(taus.nbytes for _, _, _, taus in chunks if taus is not None)
         self.last_dispatch = {"strategy": "process", "num_chunks": len(chunks),
                               "payload_bytes": int(payload), "arena_bytes": 0,
+                              "arena_reused": False,
                               "kernel_backend": backend_name}
         mode = obs_spans.obs_mode()
         with span("engine.dispatch", strategy="process"):
@@ -499,18 +519,27 @@ class MatrixEngine:
                 return self._gather_all(futures)
 
     def _run_shared(self, arrays_a, arrays_b, rows, cols, plan, measure,
-                    measure_kwargs, thresholds,
-                    backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
+                    measure_kwargs, thresholds, backend=None,
+                    packed=None) -> list[tuple[np.ndarray, np.ndarray]]:
         """Persistent pool fed through a packed shared-memory arena.
 
-        The arena publishes every point array of this call once; chunks ship
-        only ``(arena name, pair-index vectors, threshold slice)``.  The arena
-        is closed *and unlinked* in a ``finally`` block after every future has
-        settled, so worker exceptions cannot leak shared memory.  A pool whose
-        worker died (``BrokenProcessPool``) is discarded and the whole dispatch
-        retried once on a fresh pool — the arena stays valid across the retry.
-        When ``multiprocessing.shared_memory`` is missing entirely, fall back
-        to pickled per-chunk dispatch, still over the persistent pool.
+        With ``packed`` (a pinned :class:`~repro.engine.arena_cache.CachedArena`
+        covering the database side) the dispatch reuses the cached segment:
+        slots resolve through the entry's identity map, arrays outside the
+        arena ship pickled as ``extras`` addressed by negative slot indices,
+        and nothing is packed or unlinked here — the cache owns the segment's
+        lifetime and the pin keeps it valid across every chunk and across a
+        ``BrokenProcessPool`` retry.
+
+        Otherwise a per-call arena publishes every point array of this call
+        once; chunks ship only ``(arena name, pair-index vectors, threshold
+        slice)``, and the arena is closed *and unlinked* in a ``finally``
+        block after every future has settled, so worker exceptions cannot
+        leak shared memory.  A pool whose worker died (``BrokenProcessPool``)
+        is discarded and the whole dispatch retried once on a fresh pool — the
+        arena stays valid across the retry.  When
+        ``multiprocessing.shared_memory`` is missing entirely, fall back to
+        pickled per-chunk dispatch, still over the persistent pool.
         """
         from . import shared
 
@@ -520,6 +549,31 @@ class MatrixEngine:
                                          measure, measure_kwargs, thresholds,
                                          fallback_a=arrays_a, fallback_b=arrays_b,
                                          backend=backend)
+        if packed is not None:
+            extras: list = []
+            extra_slots: dict[int, int] = {}
+
+            def cached_slot_table(arrays) -> np.ndarray:
+                table = np.empty(len(arrays), dtype=np.int64)
+                for position, array in enumerate(arrays):
+                    index = packed.slot_of(array)
+                    if index is None:
+                        key = id(array)
+                        extra = extra_slots.get(key)
+                        if extra is None:
+                            extra = extra_slots[key] = len(extras)
+                            extras.append(array)
+                        index = -1 - extra
+                    table[position] = index
+                return table
+
+            slot_a = cached_slot_table(arrays_a)
+            slot_b = slot_a if arrays_b is arrays_a else cached_slot_table(arrays_b)
+            obs_registry.get_registry().counter("engine.arena.reused_dispatches").add(1)
+            return self._dispatch_shared(plan, packed.arena, rows, cols,
+                                         slot_a, slot_b, measure, measure_kwargs,
+                                         thresholds, backend=backend,
+                                         extras=extras, reused=True)
         # Deduplicate by object identity so an array appearing many times (the
         # repeated query of a ``pairs`` refinement batch, or both sides of a
         # pairwise call) occupies a single arena slot.
@@ -548,12 +602,14 @@ class MatrixEngine:
 
     def _dispatch_shared(self, plan, arena, rows, cols, slot_a, slot_b, measure,
                          measure_kwargs, thresholds, fallback_a=None,
-                         fallback_b=None,
-                         backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
+                         fallback_b=None, backend=None, extras=None,
+                         reused=False) -> list[tuple[np.ndarray, np.ndarray]]:
         from . import shared
 
         backend_name = None if backend is None else backend.name
         mode = obs_spans.obs_mode()
+        extra_list = extras if extras else None
+        extras_bytes = sum(a.nbytes for a in extras) if extras else 0
         payload = 0
         tasks = []
         for positions in plan:
@@ -563,8 +619,8 @@ class MatrixEngine:
                 idx_b = slot_b[cols[positions]]
                 args = (shared.shared_worker_chunk, arena.name, idx_a, idx_b,
                         measure, measure_kwargs, self.use_kernels, taus,
-                        backend_name, mode)
-                payload += idx_a.nbytes + idx_b.nbytes
+                        backend_name, mode, extra_list)
+                payload += idx_a.nbytes + idx_b.nbytes + extras_bytes
             else:
                 list_a = [fallback_a[rows[p]] for p in positions]
                 list_b = [fallback_b[cols[p]] for p in positions]
@@ -573,9 +629,14 @@ class MatrixEngine:
                 payload += sum(a.nbytes for a in list_a) + sum(b.nbytes for b in list_b)
             payload += 0 if taus is None else taus.nbytes
             tasks.append((positions, args))
+        # ``arena_bytes`` counts bytes this call *published*: a reused cached
+        # arena publishes nothing new, which is exactly the saving the serving
+        # benchmark measures.
         self.last_dispatch = {"strategy": "shared", "num_chunks": len(tasks),
                               "payload_bytes": int(payload),
-                              "arena_bytes": 0 if arena is None else arena.size,
+                              "arena_bytes": (0 if arena is None or reused
+                                              else arena.size),
+                              "arena_reused": bool(reused),
                               "kernel_backend": backend_name}
         for attempt in (0, 1):
             pool = shared.get_shared_pool(self.max_workers)

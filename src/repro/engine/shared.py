@@ -24,12 +24,14 @@ costs:
   cell-work statistics and the rest of the telemetry registry aggregate
   across processes.
 
-Lifecycle: the parent creates one arena per engine call, waits for every
-chunk future to settle, then closes *and unlinks* the segment in a
-``finally`` block — an exception in any worker can never leak shared memory.
-Workers keep their most recent attachment open (closing the previous one as
-soon as a new arena name arrives), which is safe on POSIX: an unlinked
-segment stays mapped until the last attachment closes.  Platforms without
+Lifecycle: for a per-call arena the parent packs, waits for every chunk
+future to settle, then closes *and unlinks* the segment in a ``finally``
+block — an exception in any worker can never leak shared memory.  Arenas
+owned by the :mod:`~repro.engine.arena_cache` instead persist across calls
+(keyed by content fingerprint, with append slack for index deltas) and are
+unlinked on LRU eviction / ``clear()`` / atexit.  Workers keep a small LRU of
+attachments open, which is safe on POSIX: an unlinked segment stays mapped
+until the last attachment closes.  Platforms without
 ``multiprocessing.shared_memory`` degrade gracefully: the engine detects
 :func:`shared_memory_available` and falls back to per-chunk pickling over
 the same persistent pool.
@@ -49,6 +51,7 @@ except ImportError:  # pragma: no cover - exotic builds without _posixshmem
     _shared_memory = None
 
 __all__ = [
+    "ArenaCapacityError",
     "TrajectoryArena",
     "shared_memory_available",
     "get_shared_pool",
@@ -74,21 +77,32 @@ def shared_memory_available() -> bool:
 _LIVE_ARENAS: set[str] = set()
 
 
+class ArenaCapacityError(RuntimeError):
+    """Raised when :meth:`TrajectoryArena.append` outgrows the reserved space."""
+
+
 class TrajectoryArena:
-    """All point arrays of one engine call packed into one shared segment.
+    """Point arrays packed into one shared segment, with optional append slack.
 
     Layout (native byte order)::
 
-        int64             count                      number of trajectories
-        int64[count, 3]   table                      (offset, length, dim) rows
-        float64[total]    payload                    concatenated point data
+        int64               count                    trajectories currently packed
+        int64               capacity                 table rows reserved
+        int64[capacity, 3]  table                    (offset, length, dim) rows
+        float64[reserved]   payload                  concatenated point data
 
     ``offset`` indexes float64 elements into the payload, so trajectory ``i``
     is ``payload[offset:offset + length * dim].reshape(length, dim)`` — a
     zero-copy view for whoever attaches.
+
+    ``reserve_slots``/``reserve_bytes`` over-allocate table rows and payload so
+    the arena cache can :meth:`append` the delta of a mutated index instead of
+    re-packing the whole database.  Appends write table rows and payload first
+    and publish the new ``count`` last, so a concurrently attached reader only
+    ever sees fully written trajectories.
     """
 
-    def __init__(self, arrays):
+    def __init__(self, arrays, reserve_slots: int = 0, reserve_bytes: int = 0):
         if _shared_memory is None:
             raise RuntimeError("multiprocessing.shared_memory is unavailable "
                                "on this platform")
@@ -98,20 +112,26 @@ class TrajectoryArena:
         sizes = lengths * dims
         offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))) if count \
             else np.zeros(0, dtype=_HEADER_DTYPE)
-        header_elements = 1 + 3 * count
+        capacity = count + max(int(reserve_slots), 0)
         total = int(sizes.sum())
-        self.size = 8 * (header_elements + total)
-        self._shm = _shared_memory.SharedMemory(create=True, size=max(self.size, 8))
+        self._payload_capacity = total + (max(int(reserve_bytes), 0) + 7) // 8
+        self.count = count
+        self.capacity = capacity
+        self._payload_used = total
+        self.size = 8 * (2 + 3 * capacity + self._payload_capacity)
+        self._shm = _shared_memory.SharedMemory(create=True, size=max(self.size, 16))
         try:
-            header = np.ndarray((header_elements,), dtype=_HEADER_DTYPE,
-                                buffer=self._shm.buf)
+            header = np.ndarray((2,), dtype=_HEADER_DTYPE, buffer=self._shm.buf)
             header[0] = count
-            table = header[1:].reshape(count, 3)
-            table[:, 0] = offsets
-            table[:, 1] = lengths
-            table[:, 2] = dims
+            header[1] = capacity
+            table = np.ndarray((capacity, 3), dtype=_HEADER_DTYPE,
+                               buffer=self._shm.buf, offset=16)
+            table[:count, 0] = offsets
+            table[:count, 1] = lengths
+            table[:count, 2] = dims
+            table[count:] = 0
             payload = np.ndarray((total,), dtype=np.float64, buffer=self._shm.buf,
-                                 offset=8 * header_elements)
+                                 offset=8 * (2 + 3 * capacity))
             for offset, size, array in zip(offsets, sizes, arrays):
                 payload[offset:offset + size] = array.reshape(-1)
             del header, table, payload  # drop buffer exports before any close()
@@ -123,7 +143,48 @@ class TrajectoryArena:
         _LIVE_ARENAS.add(self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TrajectoryArena(name={self.name!r}, size={self.size})"
+        return (f"TrajectoryArena(name={self.name!r}, size={self.size}, "
+                f"count={self.count}/{self.capacity})")
+
+    def can_append(self, arrays) -> bool:
+        """Whether ``arrays`` fit in the reserved table rows and payload slack."""
+        if self._shm is None:
+            return False
+        total = sum(a.shape[0] * a.shape[1] for a in arrays)
+        return (self.count + len(arrays) <= self.capacity
+                and self._payload_used + total <= self._payload_capacity)
+
+    def append(self, arrays) -> np.ndarray:
+        """Pack ``arrays`` into the reserved slack; returns their slot indices.
+
+        Table rows and payload land before the header ``count`` is bumped, so a
+        reader attached mid-append never observes a half-written trajectory.
+        """
+        if self._shm is None:
+            raise RuntimeError("arena is closed")
+        if not self.can_append(arrays):
+            raise ArenaCapacityError(
+                f"appending {len(arrays)} trajectories exceeds the arena's "
+                f"reserved capacity ({self.count}/{self.capacity} slots, "
+                f"{self._payload_used}/{self._payload_capacity} payload elements)")
+        start = self.count
+        offset = self._payload_used
+        table = np.ndarray((self.capacity, 3), dtype=_HEADER_DTYPE,
+                           buffer=self._shm.buf, offset=16)
+        payload = np.ndarray((self._payload_capacity,), dtype=np.float64,
+                             buffer=self._shm.buf,
+                             offset=8 * (2 + 3 * self.capacity))
+        for slot, array in enumerate(arrays, start=start):
+            size = array.shape[0] * array.shape[1]
+            payload[offset:offset + size] = array.reshape(-1)
+            table[slot] = (offset, array.shape[0], array.shape[1])
+            offset += size
+        header = np.ndarray((2,), dtype=_HEADER_DTYPE, buffer=self._shm.buf)
+        header[0] = start + len(arrays)
+        del header, table, payload  # drop buffer exports before any close()
+        self.count = start + len(arrays)
+        self._payload_used = offset
+        return np.arange(start, self.count, dtype=np.int64)
 
     def close(self) -> None:
         """Close and unlink the segment (idempotent, exception-safe)."""
@@ -146,13 +207,14 @@ class TrajectoryArena:
 
 def unpack_views(buffer) -> list[np.ndarray]:
     """Read-only zero-copy trajectory views over a packed arena buffer."""
-    count = int(np.ndarray((1,), dtype=_HEADER_DTYPE, buffer=buffer)[0])
-    header_elements = 1 + 3 * count
-    table = np.ndarray((count, 3), dtype=_HEADER_DTYPE, buffer=buffer, offset=8)
+    header = np.ndarray((2,), dtype=_HEADER_DTYPE, buffer=buffer)
+    count, capacity = int(header[0]), int(header[1])
+    payload_offset = 8 * (2 + 3 * capacity)
+    table = np.ndarray((count, 3), dtype=_HEADER_DTYPE, buffer=buffer, offset=16)
     views = []
     for offset, length, dim in table:
         view = np.ndarray((int(length), int(dim)), dtype=np.float64, buffer=buffer,
-                          offset=8 * (header_elements + int(offset)))
+                          offset=payload_offset + 8 * int(offset))
         view.flags.writeable = False
         views.append(view)
     return views
@@ -165,10 +227,14 @@ def live_arena_names() -> frozenset[str]:
 
 # ------------------------------------------------------------- worker side
 
-#: The worker's current attachment: ``{arena_name: (SharedMemory, views)}``.
-#: Holds at most one entry — engine calls are serialized per arena, so a new
-#: name means the previous call is over and its segment can be released.
+#: The worker's attachment cache: ``{arena_name: (SharedMemory, views)}``.
+#: A small LRU — cached arenas persist across calls, so a worker serving
+#: several indexes keeps each database segment mapped instead of re-attaching
+#: per call; the per-call (non-cached) arenas churn through the same slots.
 _ATTACHED: dict[str, tuple[object, list[np.ndarray]]] = {}
+
+#: How many arena attachments a worker keeps mapped at once.
+_ATTACH_CAPACITY = 4
 
 
 def _release_attachment(name: str) -> None:
@@ -180,13 +246,23 @@ def _release_attachment(name: str) -> None:
         pass
 
 
-def _attach_arena(name: str) -> list[np.ndarray]:
-    """Attach to ``name`` (cached) and return its trajectory views."""
-    cached = _ATTACHED.get(name)
+def _attach_arena(name: str, min_slots: int = 0) -> list[np.ndarray]:
+    """Attach to ``name`` (cached, LRU) and return its trajectory views.
+
+    ``min_slots`` is the highest slot index the caller is about to touch plus
+    one: a cached attachment with fewer views re-reads the header — the parent
+    appended to the arena since this worker attached, and append publishes
+    ``count`` last, so the refreshed views are complete.
+    """
+    cached = _ATTACHED.pop(name, None)
     if cached is not None:
-        return cached[1]
-    for stale in list(_ATTACHED):
-        _release_attachment(stale)
+        shm, views = cached
+        if min_slots > len(views):
+            views = unpack_views(shm.buf)
+        _ATTACHED[name] = (shm, views)  # re-insert: most recently used
+        return views
+    while len(_ATTACHED) >= _ATTACH_CAPACITY:
+        _release_attachment(next(iter(_ATTACHED)))
     shm = _shared_memory.SharedMemory(name=name)
     views = unpack_views(shm.buf)
     _ATTACHED[name] = (shm, views)
@@ -195,7 +271,7 @@ def _attach_arena(name: str) -> list[np.ndarray]:
 
 def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
                         use_kernels, thresholds=None, backend=None,
-                        obs_mode=None):
+                        obs_mode=None, extra_arrays=None):
     """Worker entrypoint: arena views → kernels → ``(values, dp_cells, obs_delta)``.
 
     ``idx_a``/``idx_b`` index trajectories inside the arena; after resolving
@@ -206,12 +282,23 @@ def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
     process) are shared with every other strategy and results are
     bit-identical.  ``obs_mode`` is the parent's observability mode at submit
     time, forwarded so long-lived pool workers track parent mode switches.
+
+    ``extra_arrays`` carries the few arrays *not* packed in the arena (the
+    query of a refinement batch riding a cached database arena): a negative
+    slot index ``-1 - e`` resolves to ``extra_arrays[e]``.
     """
     from .executor import _worker_chunk
 
-    arrays = _attach_arena(arena_name)
-    return _worker_chunk([arrays[int(i)] for i in idx_a],
-                         [arrays[int(j)] for j in idx_b],
+    idx_a = np.asarray(idx_a, dtype=np.int64)
+    idx_b = np.asarray(idx_b, dtype=np.int64)
+    min_slots = int(max(idx_a.max(initial=-1), idx_b.max(initial=-1))) + 1
+    arrays = _attach_arena(arena_name, min_slots)
+
+    def resolve(slot: int) -> np.ndarray:
+        return arrays[slot] if slot >= 0 else extra_arrays[-1 - slot]
+
+    return _worker_chunk([resolve(int(i)) for i in idx_a],
+                         [resolve(int(j)) for j in idx_b],
                          measure, measure_kwargs, use_kernels,
                          thresholds=thresholds, backend=backend,
                          obs_mode=obs_mode)

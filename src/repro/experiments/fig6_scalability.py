@@ -49,6 +49,12 @@ def _search_probe(settings: ExperimentSettings, dataset) -> dict:
                                 **settings.measure_kwargs()))
     probe["engine_strategy"] = engine.strategy
     probe["engine_max_workers"] = engine.max_workers
+    # Serving fast-path provenance: under the shared strategy, repeats reuse
+    # the content-addressed arena pool — record its state with the latency so
+    # the scalability table says whether packing costs were amortised.
+    from ..engine.arena_cache import get_arena_cache
+
+    probe["arena_cache"] = get_arena_cache().stats()
     return probe
 
 

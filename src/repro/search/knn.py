@@ -165,9 +165,32 @@ def _normalise_exclude(exclude) -> frozenset[int]:
     raise TypeError("exclude must be None, an int or an iterable of ints")
 
 
+def _auto_pin_arena(index: TrajectoryIndex, engine, batch_size: int):
+    """Pin the process arena cache for ``index`` when reuse can actually help.
+
+    Reuse only matters when refinement batches can leave the process: the
+    engine must run the ``shared`` strategy with shared memory available, the
+    cache must be enabled, and a batch must be able to split into multiple
+    chunks (the engine short-circuits single-chunk work in-process).  Returns
+    ``(cache, entry)`` — both None when any condition fails.
+    """
+    if getattr(engine, "strategy", None) != "shared":
+        return None, None
+    if batch_size <= getattr(engine, "chunk_size", batch_size):
+        return None, None
+    from ..engine.arena_cache import get_arena_cache
+
+    cache = get_arena_cache()
+    if not cache.enabled:
+        return None, None
+    entry = cache.pin(index.arrays, fingerprint=index.fingerprint)
+    return (cache, entry) if entry is not None else (None, None)
+
+
 def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = "dtw",
                engine=None, batch_size: int = 8, exclude=None,
-               abandon: bool | None = None, **measure_kwargs) -> SearchResult:
+               abandon: bool | None = None, arena=None,
+               **measure_kwargs) -> SearchResult:
     """Exact k nearest neighbours of ``query`` under a registered measure.
 
     Parameters
@@ -198,6 +221,17 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
         too; ``False`` always computes full DP tables — the baseline of
         ``benchmarks/prune_speedup.py``.  Either way the result is identical;
         abandoning only changes how much of a losing candidate's table is built.
+    arena:
+        Shared-memory reuse policy for the refinement batches.  ``None``
+        (default) auto-pins the process-wide
+        :class:`~repro.engine.arena_cache.ArenaCache` when the engine runs the
+        ``shared`` strategy and batches can actually dispatch to the pool, so
+        repeated queries against the same index reuse one packed database
+        segment instead of re-packing per call.  ``False`` disables reuse
+        (per-call arenas, the pre-cache behaviour).  A pinned
+        :class:`~repro.engine.arena_cache.CachedArena` (as the
+        :class:`~repro.search.SearchService` passes per flush) is used as-is
+        and not unpinned here.  Results are bit-identical either way.
     """
     if not isinstance(index, TrajectoryIndex):
         index = TrajectoryIndex(index)
@@ -232,46 +266,58 @@ def knn_search(index: TrajectoryIndex | Sequence, query, k: int, measure: str = 
             order = order[~np.isin(order, list(excluded))]
 
     query_points = np.asarray(getattr(query, "points", query), dtype=np.float64)
+    owner_cache = None
+    if arena is None:
+        owner_cache, arena = _auto_pin_arena(index, engine, batch_size)
+    elif arena is False:
+        arena = None
     heap: list[tuple[float, int]] = []  # (-distance, -index): root = current worst
     refined: list[tuple[float, int]] = []
     refine_seconds = 0.0
     num_batches = 0
     num_abandoned = 0
     position = 0
-    with span("search.refine", measure=measure):
-        while position < len(order):
-            tau = -heap[0][0] if len(heap) == k else np.inf
-            batch: list[int] = []
-            while (position < len(order) and len(batch) < batch_size
-                   and (len(heap) < k or bounds[order[position]] <= tau)):
-                batch.append(int(order[position]))
-                position += 1
-            if not batch:
-                break  # every remaining bound is strictly above τ — abandon the tail
-            # With a full heap, refine under per-pair abandon thresholds: a pair
-            # whose in-kernel lower bound exceeds τ comes back as +inf, which —
-            # because τ only shrinks — can never displace a heap entry nor reach
-            # the top-k.
-            thresholds = (np.full(len(batch), tau)
-                          if abandon and np.isfinite(tau) else None)
-            start = time.perf_counter()
-            # Both sides ride through as CanonicalArrays: the engine skips its
-            # per-call asarray walk over database trajectories it has seen before.
-            distances = engine.pairs(CanonicalArrays([query_points] * len(batch)),
-                                     CanonicalArrays([index.arrays[i] for i in batch]),
-                                     measure, thresholds=thresholds, **measure_kwargs)
-            refine_seconds += time.perf_counter() - start
-            num_batches += 1
-            if thresholds is not None:
-                num_abandoned += int(np.isinf(distances).sum())
-            for candidate, distance in zip(batch, distances):
-                distance = float(distance)
-                refined.append((distance, candidate))
-                item = (-distance, -candidate)
-                if len(heap) < k:
-                    heapq.heappush(heap, item)
-                elif item > heap[0]:
-                    heapq.heapreplace(heap, item)
+    try:
+        with span("search.refine", measure=measure):
+            while position < len(order):
+                tau = -heap[0][0] if len(heap) == k else np.inf
+                batch: list[int] = []
+                while (position < len(order) and len(batch) < batch_size
+                       and (len(heap) < k or bounds[order[position]] <= tau)):
+                    batch.append(int(order[position]))
+                    position += 1
+                if not batch:
+                    break  # every remaining bound is strictly above τ — abandon the tail
+                # With a full heap, refine under per-pair abandon thresholds: a pair
+                # whose in-kernel lower bound exceeds τ comes back as +inf, which —
+                # because τ only shrinks — can never displace a heap entry nor reach
+                # the top-k.
+                thresholds = (np.full(len(batch), tau)
+                              if abandon and np.isfinite(tau) else None)
+                start = time.perf_counter()
+                # Both sides ride through as CanonicalArrays: the engine skips its
+                # per-call asarray walk over database trajectories it has seen
+                # before.  ``arena`` (when pinned) is the cached shared-memory
+                # pack of those same arrays, joined by object identity.
+                distances = engine.pairs(CanonicalArrays([query_points] * len(batch)),
+                                         CanonicalArrays([index.arrays[i] for i in batch]),
+                                         measure, thresholds=thresholds, arena=arena,
+                                         **measure_kwargs)
+                refine_seconds += time.perf_counter() - start
+                num_batches += 1
+                if thresholds is not None:
+                    num_abandoned += int(np.isinf(distances).sum())
+                for candidate, distance in zip(batch, distances):
+                    distance = float(distance)
+                    refined.append((distance, candidate))
+                    item = (-distance, -candidate)
+                    if len(heap) < k:
+                        heapq.heappush(heap, item)
+                    elif item > heap[0]:
+                        heapq.heapreplace(heap, item)
+    finally:
+        if owner_cache is not None:
+            owner_cache.unpin(arena)
 
     refined.sort()
     top = refined[:k]

@@ -16,7 +16,20 @@ does not have:
   kwargs + k), so repeated queries are served without touching the engine;
 * **statistics** — per-service totals (queries, cache hits/misses, latency,
   batch-fill and pruning ratios) consumed by ``eval.efficiency.search_latency``
-  and the search micro-benchmark.
+  and the search micro-benchmark;
+* **arena reuse** — under the ``shared`` engine strategy each flush pins the
+  process-wide :class:`~repro.engine.arena_cache.ArenaCache` entry for the
+  index (packing it on the first flush, appending only the delta after an
+  index mutation), so refinement batches across queries and flushes dispatch
+  against one persistent shared-memory segment; :meth:`SearchService.close`
+  (or the context-manager form) evicts the segments the service caused, so a
+  shut-down service leaves ``live_arena_names()`` empty;
+* **live-index mutation** — :meth:`SearchService.insert` /
+  :meth:`SearchService.evict` mutate the owned sharded
+  :class:`~repro.search.index.TrajectoryIndex` in place (flushing pending
+  queries first), and the index generation counter invalidates the result
+  cache so a post-mutation query can never be answered from a pre-mutation
+  entry.
 
 Serving statistics live in a per-service :class:`repro.obs.Registry` (so two
 services never blur each other's traffic) and are mirrored into the
@@ -40,7 +53,7 @@ import numpy as np
 from ..engine.cache import cache_key, fingerprint_trajectories
 from ..obs.registry import Registry, get_registry
 from .index import TrajectoryIndex
-from .knn import SearchResult, SearchStats, knn_search
+from .knn import SearchResult, SearchStats, _normalise_exclude, knn_search
 
 __all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE"]
 
@@ -84,11 +97,16 @@ class SearchService:
     def __init__(self, index: TrajectoryIndex | Sequence, measure: str = "dtw",
                  k: int = 10, engine=None, batch_size: int | None = None,
                  refine_batch_size: int = 8, cache_entries: int = 256,
-                 abandon: bool | None = None, **measure_kwargs):
+                 abandon: bool | None = None, arena_reuse: bool | None = None,
+                 **measure_kwargs):
         self.index = index if isinstance(index, TrajectoryIndex) else TrajectoryIndex(index)
         self.measure = measure
         self.default_k = k
         self.abandon = abandon
+        #: Shared-memory arena reuse across flushes: None auto-detects (shared
+        #: strategy + multi-chunk refinement batches), False disables, True
+        #: pins the process arena cache for the index on every flush.
+        self.arena_reuse = arena_reuse
         if engine is None:
             from ..engine import get_default_engine
 
@@ -107,6 +125,11 @@ class SearchService:
         self._cache: OrderedDict[str, SearchResult] = OrderedDict()
         self._pending: list[tuple[str, object, int, object, PendingQuery]] = []
         self._totals = SearchStats()
+        self._index_generation = self.index.generation
+        # Every index fingerprint this service ever pinned an arena for;
+        # close() evicts them all so shutdown leaves live_arena_names() clean.
+        self._pinned_fingerprints: set[str] = set()
+        self._closed = False
         #: Per-service telemetry scope; every ``service.*`` instrument is also
         #: mirrored into the process-wide registry for unified snapshots.
         self.registry = Registry()
@@ -183,38 +206,143 @@ class SearchService:
         pending, self._pending = self._pending, []
         if not pending:
             return 0
+        self._sync_index_generation()
         start = time.perf_counter()
         self._observe("service.batch_fill", len(pending))
-        for key, query, k, exclude, handle in pending:
-            cached = self._cache_get(key)
-            if cached is not None:
-                self._count("service.cache_hits")
-                handle._result = cached
-            else:
-                self._count("service.cache_misses")
-                try:
-                    result = knn_search(self.index, query, k, measure=self.measure,
-                                        engine=self.engine,
-                                        batch_size=self.refine_batch_size,
-                                        exclude=exclude, abandon=self.abandon,
-                                        **self.measure_kwargs)
-                except Exception as error:  # a bad query must not orphan its batch
-                    handle._error = error
-                    continue
-                self._totals.merge(result.stats)
-                self._cache_put(key, result)
-                handle._result = result
-            self._count("service.queries")
+        # One arena pin covers the whole flush: every cache-missing query of
+        # the batch refines against the same packed database segment.
+        arena_cache, arena = self._pin_arena()
+        try:
+            for key, query, k, exclude, handle in pending:
+                cached = self._cache_get(key)
+                if cached is not None:
+                    self._count("service.cache_hits")
+                    handle._result = cached
+                else:
+                    self._count("service.cache_misses")
+                    try:
+                        result = knn_search(self.index, query, k, measure=self.measure,
+                                            engine=self.engine,
+                                            batch_size=self.refine_batch_size,
+                                            exclude=exclude, abandon=self.abandon,
+                                            arena=arena if arena is not None else False,
+                                            **self.measure_kwargs)
+                    except Exception as error:  # a bad query must not orphan its batch
+                        handle._error = error
+                        continue
+                    self._totals.merge(result.stats)
+                    self._cache_put(key, result)
+                    handle._result = result
+                self._count("service.queries")
+        finally:
+            if arena_cache is not None:
+                arena_cache.unpin(arena)
         self._count("service.flushes")
         self._observe("service.flush_seconds", time.perf_counter() - start)
         return len(pending)
+
+    # ------------------------------------------------------------ index mutation
+    def _sync_index_generation(self) -> None:
+        """Drop cached results when the index mutated underneath the service.
+
+        Result keys embed the index fingerprint, so stale entries could never
+        be *served* — but they could never be hit again either, so clearing
+        them keeps the LRU from carrying dead weight and makes the
+        invalidation observable (``service.index_invalidations``).
+        """
+        generation = self.index.generation
+        if generation != self._index_generation:
+            self._index_generation = generation
+            self._cache.clear()
+            self._count("service.index_invalidations")
+
+    def insert(self, trajectories) -> np.ndarray:
+        """Insert into the owned index (flushing pending queries first).
+
+        Pending queries resolve against the pre-mutation database — the
+        answer they were submitted against — and the result cache is
+        invalidated for the new generation.  Returns the new trajectory ids.
+        """
+        if self._pending:
+            self.flush()
+        ids = self.index.insert(trajectories)
+        self._sync_index_generation()
+        return ids
+
+    def evict(self, ids) -> int:
+        """Evict ids from the owned index (flushing pending queries first)."""
+        if self._pending:
+            self.flush()
+        removed = self.index.evict(ids)
+        self._sync_index_generation()
+        return removed
+
+    # ------------------------------------------------------------ arena lifetime
+    def _pin_arena(self):
+        """Pin the process arena cache for this flush — ``(cache, entry)`` or Nones."""
+        if self.arena_reuse is False or self._closed:
+            return None, None
+        engine = self.engine
+        if getattr(engine, "strategy", None) != "shared":
+            return None, None
+        if self.arena_reuse is None and \
+                self.refine_batch_size <= getattr(engine, "chunk_size", 0):
+            # Refinement batches would never split into multiple chunks, so
+            # dispatch stays in-process and packing an arena buys nothing.
+            return None, None
+        from ..engine.arena_cache import get_arena_cache
+
+        cache = get_arena_cache()
+        if not cache.enabled:
+            return None, None
+        fingerprint = self.index.fingerprint
+        entry = cache.pin(self.index.arrays, fingerprint=fingerprint)
+        if entry is None:
+            return None, None
+        self._pinned_fingerprints.add(fingerprint)
+        return cache, entry
+
+    def close(self) -> None:
+        """Flush pending work and evict this service's cached arenas.
+
+        After ``close()`` the service still answers queries (without arena
+        reuse), but every shared-memory segment it caused to be cached is
+        evicted — pinned entries are doomed and unlink at their last unpin —
+        so a shut-down service leaks nothing (``live_arena_names()`` drains).
+        Idempotent.
+        """
+        if self._pending:
+            self.flush()
+        self._closed = True
+        if self._pinned_fingerprints:
+            from ..engine.arena_cache import get_arena_cache
+
+            cache = get_arena_cache()
+            for fingerprint in self._pinned_fingerprints:
+                cache.evict(fingerprint)
+            self._pinned_fingerprints.clear()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -------------------------------------------------------------------- cache
     def _result_key(self, points: np.ndarray, k: int, exclude) -> str:
         # ``submit`` already canonicalized the query to a float64 point array.
         fingerprint = fingerprint_trajectories([points]) + self.index.fingerprint
+        # Canonicalize the exclusion set: ``repr`` of a large numpy array
+        # truncates ("...") and would collide two different exclusion sets.
+        # Invalid exclude values keep a repr-based key — knn_search raises for
+        # them at flush time and errors are never cached, so a collision
+        # between two invalid excludes is harmless.
+        try:
+            excluded = tuple(sorted(_normalise_exclude(exclude)))
+        except TypeError:
+            excluded = repr(exclude)
         return cache_key(fingerprint, self.measure, self.measure_kwargs,
-                         kind=f"knn:{k}:{exclude!r}")
+                         kind=f"knn:{k}:{excluded!r}")
 
     def _cache_get(self, key: str) -> SearchResult | None:
         result = self._cache.get(key)

@@ -165,6 +165,86 @@ def test_recall_at_k_validates_shapes():
     assert recall_at_k(np.array([[1, 2]]), np.array([[2, 3]])) == pytest.approx(0.5)
 
 
+# ----------------------------------------------------------- result-key hygiene
+def test_result_cache_distinguishes_truncated_exclude_reprs(spatial):
+    """Regression: ``repr`` of a large exclusion array truncates with "...",
+    so two different exclusion sets used to collide to one cache key and the
+    second query was served the first query's neighbours."""
+    service = SearchService(spatial, measure="dtw", k=5)
+    nearest = service.search(spatial[0]).indices  # includes self at rank 0
+    base = np.full(2000, 9999)
+    first = base.copy()
+    first[997] = nearest[1]
+    second = base.copy()
+    second[997] = nearest[2]
+    assert repr(first) == repr(second)  # the collision the old key was built on
+    result_a = service.search(spatial[0], exclude=first)
+    result_b = service.search(spatial[0], exclude=second)
+    assert service.stats()["cache_hits"] == 0
+    assert nearest[1] not in result_a.indices and nearest[2] in result_a.indices
+    assert nearest[2] not in result_b.indices and nearest[1] in result_b.indices
+
+
+def test_result_cache_canonicalizes_equivalent_excludes(spatial):
+    """[1, 2] and array([2, 1]) are the same exclusion set: one key, one miss."""
+    service = SearchService(spatial, measure="dtw", k=5)
+    first = service.search(spatial[0], exclude=[1, 2])
+    second = service.search(spatial[0], exclude=np.array([2, 1]))
+    assert service.stats()["cache_hits"] == 1
+    np.testing.assert_array_equal(first.indices, second.indices)
+
+
+# ------------------------------------------------------------- live-index mutation
+def test_service_mutation_invalidates_result_cache(spatial):
+    service = SearchService(spatial[:20], measure="dtw", k=4)
+    before = service.search(spatial[0], exclude=0)
+    service.insert(spatial[20:])
+    assert service.index.generation == 1
+    after = service.search(spatial[0], exclude=0)
+    # Same query, mutated database: must re-run, never hit the stale entry.
+    assert service.stats()["cache_hits"] == 0
+    assert service.snapshot()["counters"]["service.index_invalidations"] == 1
+    fresh = SearchService(spatial, measure="dtw", k=4)
+    expected = fresh.search(spatial[0], exclude=0)
+    np.testing.assert_array_equal(after.indices, expected.indices)
+    np.testing.assert_array_equal(after.distances, expected.distances)
+    assert len(before.indices) == 4
+
+
+def test_service_evict_renumbers_and_matches_fresh_service(spatial):
+    service = SearchService(spatial, measure="dtw", k=4)
+    service.search(spatial[0], exclude=0)
+    assert service.evict([1, 5]) == 2
+    survivors = [points for i, points in enumerate(spatial) if i not in (1, 5)]
+    fresh = SearchService(survivors, measure="dtw", k=4)
+    served = service.search(survivors[0], exclude=0)
+    expected = fresh.search(survivors[0], exclude=0)
+    np.testing.assert_array_equal(served.indices, expected.indices)
+    np.testing.assert_array_equal(served.distances, expected.distances)
+
+
+def test_service_insert_resolves_pending_against_old_database(spatial):
+    service = SearchService(spatial[:20], measure="dtw", k=3, batch_size=50)
+    handle = service.submit(spatial[0], exclude=0)
+    service.insert(spatial[20:])  # flushes the pending query first
+    assert handle.done
+    assert np.all(handle.result().indices < 20)  # answered pre-mutation
+
+
+def test_service_close_is_idempotent_and_leak_free(spatial):
+    from repro.engine import live_arena_names
+    from repro.engine.arena_cache import reset_arena_cache
+
+    # Earlier suites may legitimately leave unpinned arenas resident in the
+    # process-wide LRU cache; start from a clean slate so the emptiness
+    # assertion measures this service's lifecycle alone.
+    reset_arena_cache()
+    with SearchService(spatial, measure="dtw", k=3) as service:
+        service.search(spatial[0], exclude=0)
+    service.close()  # second close is a no-op
+    assert live_arena_names() == frozenset()
+
+
 # ------------------------------------------------------------------- eval probe
 def test_search_latency_probe(spatial):
     report = search_latency(spatial, spatial[:3], k=3, measure="dtw", repeats=1,
