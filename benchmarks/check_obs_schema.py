@@ -10,7 +10,11 @@ depend on the kind:
   (object);
 * ``snapshot`` — ``snapshot`` (object with ``counters`` / ``gauges`` /
   ``histograms`` objects; histogram states carry count/sum/min/max/buckets
-  with the registry's fixed bucket count).
+  with the registry's fixed bucket count);
+* ``stream_alert`` — ``tick`` (int ≥ 1), ``trajectory_id`` (int ≥ 0),
+  ``event`` (``"enter"`` or ``"exit"``), ``distance`` / ``kth_distance``
+  (numbers), ``measure`` (str) — what :class:`repro.search.StreamMonitor`
+  emits on top-k membership changes.
 
 Unknown kinds fail by default (``--allow-unknown`` downgrades them to a
 warning) — the point of this checker is that the export format is a contract,
@@ -109,6 +113,21 @@ def check_event(event, where: str, errors: list[str],
             errors.append(f"{where}: training_epoch 'metrics' must be an object")
     elif kind == "snapshot":
         check_snapshot_dict(event.get("snapshot"), where, errors)
+    elif kind == "stream_alert":
+        if not isinstance(event.get("tick"), int) or event["tick"] < 1:
+            errors.append(f"{where}: stream_alert 'tick' must be an int >= 1")
+        if (not isinstance(event.get("trajectory_id"), int)
+                or event["trajectory_id"] < 0):
+            errors.append(f"{where}: stream_alert 'trajectory_id' must be "
+                          f"an int >= 0")
+        if event.get("event") not in ("enter", "exit"):
+            errors.append(f"{where}: stream_alert 'event' must be "
+                          f"'enter' or 'exit'")
+        for field in ("distance", "kth_distance"):
+            if not _is_number(event.get(field)):
+                errors.append(f"{where}: stream_alert '{field}' must be a number")
+        if not isinstance(event.get("measure"), str) or not event.get("measure"):
+            errors.append(f"{where}: stream_alert 'measure' missing or empty")
     elif not allow_unknown:
         errors.append(f"{where}: unknown event kind {kind!r} "
                       f"(pass --allow-unknown to tolerate)")

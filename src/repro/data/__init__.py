@@ -12,6 +12,9 @@ from .synthetic import (
     generate_dataset,
     generate_trajectory,
     available_presets,
+    StreamTick,
+    StreamWorkload,
+    generate_stream_workload,
 )
 from .grid import Grid, SpatioTemporalGrid
 from .quadtree import QuadTree, QuadTreeNode, trajectory_graph
@@ -22,6 +25,7 @@ __all__ = [
     "Trajectory", "TrajectoryDataset", "BoundingBox",
     "CityPreset", "CITY_PRESETS", "generate_dataset", "generate_trajectory",
     "available_presets",
+    "StreamTick", "StreamWorkload", "generate_stream_workload",
     "Grid", "SpatioTemporalGrid",
     "QuadTree", "QuadTreeNode", "trajectory_graph",
     "Normalizer", "remove_stationary_points", "clip_to_box",

@@ -25,7 +25,8 @@ import numpy as np
 from .trajectory import BoundingBox, Trajectory, TrajectoryDataset
 
 __all__ = ["CityPreset", "CITY_PRESETS", "generate_dataset", "generate_trajectory",
-           "available_presets"]
+           "available_presets",
+           "StreamTick", "StreamWorkload", "generate_stream_workload"]
 
 
 @dataclass(frozen=True)
@@ -229,3 +230,134 @@ def generate_dataset(preset="chengdu", size: int = 200, seed: int = 0,
         for index in range(size)
     ]
     return TrajectoryDataset(trajectories, name=preset.name)
+
+
+# --------------------------------------------------------------------------- #
+# Streaming workloads                                                         #
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class StreamTick:
+    """One batch of stream updates: per-trajectory appended points and head evicts."""
+
+    tick: int
+    appends: dict  # trajectory_id -> (p, d) float64 points
+    evicts: dict   # trajectory_id -> number of points dropped from the head
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """A city-scale streaming workload: initial windows plus a tick schedule.
+
+    ``initial`` holds one ``(n, d)`` float64 window per stream (stream ``i``
+    keeps id ``i``); ``ticks`` is the arrival schedule to replay against a
+    :class:`~repro.engine.streaming.StreamingEngine` or
+    :class:`~repro.search.monitor.StreamMonitor`.  ``final_lengths`` is the
+    window length of every stream after the whole schedule — handy for sizing
+    recompute baselines.
+    """
+
+    preset: str
+    initial: list
+    ticks: list
+    final_lengths: list
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.initial)
+
+    def total_appended_points(self) -> int:
+        return sum(len(points) for tick in self.ticks
+                   for points in tick.appends.values())
+
+
+def _stream_path(preset: CityPreset, route: np.ndarray, total_points: int,
+                 points_per_lap: int, rng: np.random.Generator) -> np.ndarray:
+    """A vehicle's full sampled path: back-and-forth laps along its route.
+
+    Arc-length progress accumulates irregular positive increments (the
+    preset's sampling jitter regime) and folds through a triangle wave, so the
+    path stays continuous when a lap ends and the vehicle turns around —
+    appends always extend the previous window smoothly, like a live GPS feed.
+    """
+    increments = rng.uniform(1.0 - preset.sampling_jitter,
+                             1.0 + preset.sampling_jitter, size=total_points)
+    progress = np.cumsum(increments) / max(points_per_lap, 1)
+    positions = 1.0 - np.abs(1.0 - np.mod(progress, 2.0))
+    points = _route_polyline(route, positions)
+    points = points + rng.normal(0.0, preset.gps_noise, size=points.shape)
+    if preset.with_time:
+        steps = np.sqrt((np.diff(points, axis=0) ** 2).sum(axis=1))
+        speeds = np.maximum(rng.normal(preset.speed, preset.speed * 0.3,
+                                       size=len(steps)), preset.speed * 0.2)
+        timestamps = np.concatenate([[0.0], np.cumsum(steps / speeds)])
+        timestamps += rng.uniform(0.0, 24.0)
+        points = np.column_stack([points, timestamps])
+    return np.ascontiguousarray(points, dtype=np.float64)
+
+
+def generate_stream_workload(preset="chengdu", streams: int = 200,
+                             ticks: int = 50, seed: int = 0,
+                             initial_points: int = 12,
+                             update_fraction: float = 0.15,
+                             mean_appends: float = 2.0,
+                             evict_fraction: float = 0.0,
+                             max_evict: int = 2,
+                             with_time: bool | None = None) -> StreamWorkload:
+    """Generate a city-scale streaming workload over the road-like grid.
+
+    Each stream is a vehicle shuttling along one of the preset's route
+    corridors; its future points are sampled up front so the schedule is
+    deterministic given ``seed``.  The arrival process is per-tick Bernoulli
+    thinning: every tick each stream reports with probability
+    ``update_fraction``, delivering ``1 + Poisson(mean_appends - 1)`` new GPS
+    points; with probability ``evict_fraction`` a reporting stream *also*
+    slides its window head forward by up to ``max_evict`` points (never
+    emptying the window).  ``evict_fraction=0`` gives a pure append-only
+    (growing-window) workload; raising it shifts the mix toward sliding
+    windows, which is what exercises the engine's checkpoint machinery.
+    """
+    if streams <= 0 or ticks < 0:
+        raise ValueError("streams must be positive and ticks non-negative")
+    if initial_points < 1:
+        raise ValueError("initial_points must be at least 1")
+    if not 0.0 <= update_fraction <= 1.0 or not 0.0 <= evict_fraction <= 1.0:
+        raise ValueError("update_fraction and evict_fraction must be in [0, 1]")
+    if mean_appends < 1.0:
+        raise ValueError("mean_appends must be at least 1")
+    preset = _resolve_preset(preset, with_time)
+    rng = np.random.default_rng(seed)
+    routes = _make_routes(preset, rng)
+    route_choices = rng.integers(0, len(routes), size=streams)
+    # Budget enough future points that no stream ever runs out mid-schedule.
+    budget = initial_points + int(np.ceil(
+        ticks * update_fraction * (mean_appends + 3.0 * np.sqrt(mean_appends))
+    )) + 8 * max(int(mean_appends), 1)
+    points_per_lap = max(int(round(preset.mean_points)), 2)
+    paths = [_stream_path(preset, routes[route_choices[index]], budget,
+                          points_per_lap, rng) for index in range(streams)]
+    cursors = [initial_points] * streams
+    lengths = [initial_points] * streams
+    initial = [paths[index][:initial_points].copy() for index in range(streams)]
+
+    schedule: list[StreamTick] = []
+    for tick_number in range(1, ticks + 1):
+        appends: dict[int, np.ndarray] = {}
+        evicts: dict[int, int] = {}
+        reporting = np.flatnonzero(rng.random(streams) < update_fraction)
+        for index in reporting.tolist():
+            count = 1 + int(rng.poisson(mean_appends - 1.0))
+            count = min(count, len(paths[index]) - cursors[index])
+            if count <= 0:
+                continue
+            appends[index] = paths[index][cursors[index]:cursors[index] + count]
+            cursors[index] += count
+            lengths[index] += count
+            if evict_fraction > 0.0 and rng.random() < evict_fraction:
+                drop = min(int(rng.integers(1, max_evict + 1)),
+                           lengths[index] - 1)
+                if drop > 0:
+                    evicts[index] = drop
+                    lengths[index] -= drop
+        schedule.append(StreamTick(tick_number, appends, evicts))
+    return StreamWorkload(preset.name, initial, schedule, list(lengths))

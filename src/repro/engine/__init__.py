@@ -14,7 +14,11 @@ distance matrices (training, violation analysis, experiments).  It owns:
 * pluggable kernel backends (:mod:`repro.engine.backends`) — the numpy
   wavefront kernels as the bitwise reference plus compiled (numba) per-pair
   DP loops, selected via ``MatrixEngine(backend=...)``, :func:`set_backend`
-  or ``REPRO_KERNEL_BACKEND``.
+  or ``REPRO_KERNEL_BACKEND``;
+* a stateful :class:`StreamingEngine` (:mod:`repro.engine.streaming`) that
+  persists per-pair DP frontiers so appending points to a live stream costs
+  one new column per point instead of a full recompute, bitwise identical to
+  the batch kernels.
 
 ``get_default_engine()`` returns the process-wide engine used by the thin wrappers
 in :mod:`repro.distances.matrix`.
@@ -72,6 +76,12 @@ from .arena_cache import (
     get_arena_cache,
     reset_arena_cache,
 )
+from .streaming import (
+    CHECKPOINT_ENV,
+    DEFAULT_CHECKPOINT,
+    STREAM_MEASURES,
+    StreamingEngine,
+)
 
 __all__ = [
     "MatrixCache", "cache_key", "fingerprint_trajectories",
@@ -89,4 +99,5 @@ __all__ = [
     "live_arena_names",
     "ARENA_CACHE_ENV", "DEFAULT_ARENA_CACHE_BYTES", "ArenaCache", "CachedArena",
     "get_arena_cache", "reset_arena_cache",
+    "CHECKPOINT_ENV", "DEFAULT_CHECKPOINT", "STREAM_MEASURES", "StreamingEngine",
 ]

@@ -88,6 +88,17 @@ class KernelBackend:
         """Whether this backend's kernels honour abandon thresholds for ``measure``."""
         return False
 
+    def stream_kernel(self, measure: str) -> Callable | None:
+        """Prefix-incremental frontier extension for ``measure``, or None.
+
+        Keys follow :data:`repro.engine.stream_kernels.STREAM_KERNELS`
+        (``"dtw_banded"`` selects the band-restricted DTW extension).  A
+        backend returning None makes :class:`~repro.engine.streaming.
+        StreamingEngine` fall back to the reference loops, so partial
+        coverage degrades to correct-but-slower, never to wrong.
+        """
+        return None
+
     def warmup(self) -> float:
         """Prepare the backend (JIT compilation); returns the seconds it took.
 
@@ -114,6 +125,11 @@ class NumpyBackend(KernelBackend):
         return (get_batch_kernel(measure) is not None
                 and get_kernel(measure) is not None)
 
+    def stream_kernel(self, measure: str) -> Callable | None:
+        from ..stream_kernels import STREAM_KERNELS
+
+        return STREAM_KERNELS.get(measure.lower())
+
 
 class NumbaBackend(KernelBackend):
     """Per-pair ``@njit`` DP kernels for all nine measures."""
@@ -137,6 +153,9 @@ class NumbaBackend(KernelBackend):
 
     def supports_threshold(self, measure: str) -> bool:
         return measure.lower() in self._module().THRESHOLD_MEASURES
+
+    def stream_kernel(self, measure: str) -> Callable | None:
+        return self._module().STREAM_KERNELS.get(measure.lower())
 
     def warmup(self) -> float:
         return self._module().warmup()

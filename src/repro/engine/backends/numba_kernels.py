@@ -86,6 +86,7 @@ __all__ = [
     "NUMBA_VERSION",
     "BATCH_KERNELS",
     "PAIR_KERNELS",
+    "STREAM_KERNELS",
     "THRESHOLD_MEASURES",
     "warmup",
     "warmup_seconds",
@@ -1060,6 +1061,199 @@ THRESHOLD_MEASURES = frozenset({
 })
 
 
+# --------------------------------------------------- streaming frontier extends
+#
+# Prefix-incremental twins of :mod:`repro.engine.stream_kernels`: extend a
+# pair's DP frontier ``column`` in place by the columns of ``b_new``, using the
+# rolling-diagonal trick.  Cell-for-cell the same IEEE arithmetic and operand
+# order as both the reference loops and the batch kernels, so a frontier
+# extended here is bitwise identical to a from-scratch kernel call on the
+# extended window.  Each returns the number of DP cells computed; the
+# StreamingEngine folds the counts into the ``stream.*`` registry counters.
+
+@njit(cache=True)
+def _stream_dtw(a, b_new, column):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    for jj in range(p):
+        diag = column[0]
+        column[0] = _INF
+        for i in range(1, n + 1):
+            s = 0.0
+            for ax in range(d):
+                delta = a[i - 1, ax] - b_new[jj, ax]
+                s += delta * delta
+            left = column[i]
+            best = column[i - 1]
+            if left < best:
+                best = left
+            if diag < best:
+                best = diag
+            column[i] = best + np.sqrt(s)
+            diag = left
+    return n * p
+
+
+@njit(cache=True)
+def _stream_dtw_banded(a, b_new, column, m_prev, radius):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    cells = 0
+    for jj in range(p):
+        j = m_prev + jj + 1
+        lo = j - radius if j - radius > 1 else 1
+        hi = j + radius if j + radius < n else n
+        diag = column[0]
+        column[0] = _INF
+        for i in range(1, n + 1):
+            left = column[i]
+            if lo <= i <= hi:
+                s = 0.0
+                for ax in range(d):
+                    delta = a[i - 1, ax] - b_new[jj, ax]
+                    s += delta * delta
+                best = column[i - 1]
+                if left < best:
+                    best = left
+                if diag < best:
+                    best = diag
+                column[i] = best + np.sqrt(s)
+                cells += 1
+            else:
+                column[i] = _INF
+            diag = left
+    return cells
+
+
+@njit(cache=True)
+def _stream_erp(a, b_new, column, gap_cost_a, gap_x, gap_y):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    for jj in range(p):
+        dx = b_new[jj, 0] - gap_x
+        dy = b_new[jj, 1] - gap_y
+        gap_b = np.sqrt(dx * dx + dy * dy)
+        diag = column[0]
+        column[0] = column[0] + gap_b
+        for i in range(1, n + 1):
+            s = 0.0
+            for ax in range(d):
+                delta = a[i - 1, ax] - b_new[jj, ax]
+                s += delta * delta
+            left = column[i]
+            value = diag + np.sqrt(s)
+            delete_a = column[i - 1] + gap_cost_a[i - 1]
+            delete_b = left + gap_b
+            if delete_b < delete_a:
+                delete_a = delete_b
+            if delete_a < value:
+                value = delete_a
+            column[i] = value
+            diag = left
+    return n * p
+
+
+@njit(cache=True)
+def _stream_edr(a, b_new, column, epsilon):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    for jj in range(p):
+        diag = column[0]
+        column[0] = column[0] + 1.0
+        for i in range(1, n + 1):
+            match = True
+            for ax in range(d):
+                if abs(a[i - 1, ax] - b_new[jj, ax]) > epsilon:
+                    match = False
+                    break
+            left = column[i]
+            value = diag if match else diag + 1.0
+            gap = column[i - 1]
+            if left < gap:
+                gap = left
+            gap = gap + 1.0
+            if gap < value:
+                value = gap
+            column[i] = value
+            diag = left
+    return n * p
+
+
+@njit(cache=True)
+def _stream_lcss(a, b_new, column, epsilon):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    for jj in range(p):
+        diag = column[0]
+        for i in range(1, n + 1):
+            match = True
+            for ax in range(d):
+                if abs(a[i - 1, ax] - b_new[jj, ax]) > epsilon:
+                    match = False
+                    break
+            left = column[i]
+            if match:
+                column[i] = diag + 1.0
+            elif column[i - 1] > left:
+                column[i] = column[i - 1]
+            diag = left
+    return n * p
+
+
+@njit(cache=True)
+def _stream_frechet(a, b_new, column):
+    n, p, d = a.shape[0], b_new.shape[0], a.shape[1]
+    for jj in range(p):
+        diag = column[0]
+        column[0] = _INF
+        for i in range(1, n + 1):
+            s = 0.0
+            for ax in range(d):
+                delta = a[i - 1, ax] - b_new[jj, ax]
+                s += delta * delta
+            cost = np.sqrt(s)
+            left = column[i]
+            reachable = column[i - 1]
+            if left < reachable:
+                reachable = left
+            if diag < reachable:
+                reachable = diag
+            column[i] = cost if cost > reachable else reachable
+            diag = left
+    return n * p
+
+
+@njit(cache=True)
+def _stream_dita(a, b_new, column, lambda_spatial, time_scale):
+    n, p = a.shape[0], b_new.shape[0]
+    for jj in range(p):
+        diag = column[0]
+        column[0] = _INF
+        for i in range(1, n + 1):
+            dx = a[i - 1, 0] - b_new[jj, 0]
+            dy = a[i - 1, 1] - b_new[jj, 1]
+            spatial = np.sqrt(dx * dx + dy * dy)
+            temporal = abs(a[i - 1, 2] - b_new[jj, 2]) / time_scale
+            cost = lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal
+            left = column[i]
+            best = column[i - 1]
+            if left < best:
+                best = left
+            if diag < best:
+                best = diag
+            column[i] = best + cost
+            diag = left
+    return n * p
+
+
+#: Streaming frontier extensions by kernel key — the numba backend's
+#: ``stream_kernel`` table (same keys as the reference map).
+STREAM_KERNELS = {
+    "dtw": _stream_dtw,
+    "dtw_banded": _stream_dtw_banded,
+    "erp": _stream_erp,
+    "edr": _stream_edr,
+    "lcss": _stream_lcss,
+    "frechet": _stream_frechet,
+    "dita": _stream_dita,
+}
+
+
 # -------------------------------------------------------------------- warm-up
 
 _WARMED = False
@@ -1099,6 +1293,14 @@ def warmup() -> float:
     _st_cost_matrix(a, a, 0.5, 1.0)
     _sspd_pair(s, s)
     _tp_pair(a, a, 0.5, 1.0)
+    column = np.array([0.0, _INF, _INF])
+    _stream_dtw(s, s, column.copy())
+    _stream_dtw_banded(s, s, column.copy(), 0, 1)
+    _stream_erp(s, s, np.array([0.0, 1.0, 2.0]), gaps, 0.0, 0.0)
+    _stream_edr(s, s, np.array([0.0, 1.0, 2.0]), 0.25)
+    _stream_lcss(s, s, np.zeros(3), 0.25)
+    _stream_frechet(s, s, column.copy())
+    _stream_dita(a, a, column.copy(), 0.5, 1.0)
     _WARMUP_SECONDS = time.perf_counter() - start
     _WARMED = True
     return _WARMUP_SECONDS

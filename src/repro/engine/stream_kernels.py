@@ -1,0 +1,367 @@
+"""Prefix-incremental DP column extensions — the streaming reference kernels.
+
+Every DP measure in this repo fills an ``(n+1, m+1)`` table column by column
+(equivalently, anti-diagonal by anti-diagonal — the cell arithmetic is
+identical).  Appending ``p`` points to the *second* trajectory of a pair only
+adds ``p`` new columns, and each new column depends solely on its predecessor.
+So a pair's entire DP state compresses to its **frontier**: the last computed
+column, ``(n+1,)`` floats.  The functions here extend a frontier in place by
+the new points' columns, costing ``O(n·p)`` cells instead of the ``O(n·m)``
+full recompute — the time-axis analogue of the query-axis abandoning wins.
+
+**Parity contract.**  Each extension performs cell-for-cell the same IEEE-754
+arithmetic, in the same order, as the batch kernels in
+:mod:`repro.engine.kernels`: point costs accumulate squared per-coordinate
+deltas left to right before one ``sqrt``; DP cells reduce predecessors in the
+reference's min/max order; LCSS counts live in exactly-representable float
+integers.  A frontier extended point by point over any append schedule is
+therefore *bitwise identical* to the final column of a from-scratch kernel
+call on the concatenated trajectory — which is what
+``tests/test_streaming_parity.py`` asserts for every measure.
+
+The in-place update uses the classic rolling-diagonal trick::
+
+    diag = col[0]            # table[0, j-1]
+    col[0] = <border of column j>
+    for i in 1..n:
+        left = col[i]        # table[i, j-1], still the old column
+        col[i] = f(col[i-1], left, diag, cost)   # up, left, diag
+        diag = left
+
+Each function returns the number of DP cells it computed; the caller
+(:class:`repro.engine.streaming.StreamingEngine`) folds the counts into the
+``stream.*`` telemetry counters.  These are the **numpy reference**
+implementations (scalar loops over numpy-computed cost columns); the numba
+backend ships ``@njit``-compiled twins in
+:mod:`repro.engine.backends.numba_kernels` with the same signatures, selected
+through :meth:`repro.engine.backends.KernelBackend.stream_kernel`.
+
+Frontier **lower bounds** (:func:`frontier_bound`) make the τ-abandoning and
+monitor-skip paths sound: every monotone alignment path of any *future*
+extension still crosses the current column, and the min-plus / min-max / edit
+measures are monotone along paths, so the column minimum (plus LCSS's
+remaining-match cap) lower-bounds the final value at every future length.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "STREAM_MEASURES",
+    "STREAM_KERNELS",
+    "initial_column",
+    "euclidean_cost_column",
+    "st_cost_column",
+    "gap_cost",
+    "frontier_value",
+    "frontier_bound",
+]
+
+_INF = np.inf
+
+#: Measures with a prefix-incremental extension (banded DTW rides on "dtw").
+STREAM_MEASURES = ("dtw", "erp", "edr", "lcss", "frechet", "dita")
+
+
+# ----------------------------------------------------------------- column costs
+
+def euclidean_cost_column(a: np.ndarray, point) -> list[float]:
+    """Euclidean costs from every row of ``a`` to one new column point.
+
+    Same per-axis square/accumulate/sqrt order as ``_euclidean_cost`` /
+    ``_cost_matrix``, so the costs — and every DP value built on them — match
+    the batch kernels bit for bit.
+    """
+    squared = None
+    for axis in range(a.shape[1]):
+        delta = a[:, axis] - point[axis]
+        delta *= delta
+        if squared is None:
+            squared = delta
+        else:
+            squared += delta
+    return np.sqrt(squared, out=squared).tolist()
+
+
+def st_cost_column(a: np.ndarray, point, lambda_spatial: float,
+                   time_scale: float) -> list[float]:
+    """DITA blended spatio-temporal costs, same expression order as the reference."""
+    dx = a[:, 0] - point[0]
+    dy = a[:, 1] - point[1]
+    spatial = np.sqrt(dx * dx + dy * dy)
+    temporal = np.abs(a[:, 2] - point[2]) / time_scale
+    return (lambda_spatial * spatial + (1.0 - lambda_spatial) * temporal).tolist()
+
+
+def gap_cost(point, gap_point) -> float:
+    """ERP gap cost of one point, matching ``np.sqrt(((p - g) ** 2).sum())``."""
+    dx = float(point[0]) - float(gap_point[0])
+    dy = float(point[1]) - float(gap_point[1])
+    return math.sqrt(dx * dx + dy * dy)
+
+
+# --------------------------------------------------------------- initial column
+
+def initial_column(measure: str, n: int, gap_cost_a: np.ndarray | None = None,
+                   ) -> np.ndarray:
+    """Column 0 of the measure's ``(n+1, m+1)`` DP table (the empty-window frontier)."""
+    if measure in ("dtw", "frechet", "dita"):
+        column = np.full(n + 1, _INF)
+        column[0] = 0.0
+    elif measure == "erp":
+        column = np.empty(n + 1)
+        column[0] = 0.0
+        column[1:] = np.cumsum(gap_cost_a)
+    elif measure == "edr":
+        column = np.arange(n + 1, dtype=np.float64)
+    elif measure == "lcss":
+        column = np.zeros(n + 1)
+    else:
+        raise ValueError(f"no streaming support for measure '{measure}'; "
+                         f"options: {STREAM_MEASURES}")
+    return column
+
+
+# ----------------------------------------------------------- reference extends
+#
+# Scalar loops over Python floats: ``column`` round-trips through ``tolist()``
+# because CPython float arithmetic on doubles is the same IEEE-754 arithmetic
+# numpy performs elementwise, and list indexing is ~3x faster than ndarray
+# scalar indexing in the interpreter.  ``a`` is the (n, d) pattern array,
+# ``b_new`` the (p, d) appended points, ``column`` the (n+1,) frontier.
+
+def dtw_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    for point in b_new:
+        cost = euclidean_cost_column(a, point)
+        diag = col[0]
+        col[0] = _INF
+        for i in range(1, n + 1):
+            left = col[i]
+            best = col[i - 1]
+            if left < best:
+                best = left
+            if diag < best:
+                best = diag
+            col[i] = best + cost[i - 1]
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def dtw_banded_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray,
+                      m_prev: int, radius: int) -> int:
+    """Banded DTW columns ``m_prev+1 .. m_prev+p``; out-of-band cells stay +inf.
+
+    ``radius`` must already be widened to ``max(band, |n - m_final|)`` — the
+    final-length dependence is why the caller owns radius bookkeeping.
+    """
+    n = a.shape[0]
+    col = column.tolist()
+    cells = 0
+    for offset, point in enumerate(b_new):
+        j = m_prev + offset + 1
+        cost = euclidean_cost_column(a, point)
+        diag = col[0]
+        col[0] = _INF
+        lo = j - radius if j - radius > 1 else 1
+        hi = j + radius if j + radius < n else n
+        for i in range(1, n + 1):
+            left = col[i]
+            if lo <= i <= hi:
+                best = col[i - 1]
+                if left < best:
+                    best = left
+                if diag < best:
+                    best = diag
+                col[i] = best + cost[i - 1]
+                cells += 1
+            else:
+                col[i] = _INF
+            diag = left
+    column[:] = col
+    return cells
+
+
+def erp_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray,
+               gap_cost_a: np.ndarray, gap_x: float, gap_y: float) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    gaps = gap_cost_a.tolist()
+    for point in b_new:
+        cost = euclidean_cost_column(a, point)
+        dx = float(point[0]) - gap_x
+        dy = float(point[1]) - gap_y
+        gap_b = math.sqrt(dx * dx + dy * dy)
+        diag = col[0]
+        col[0] = col[0] + gap_b
+        for i in range(1, n + 1):
+            left = col[i]
+            value = diag + cost[i - 1]
+            delete_a = col[i - 1] + gaps[i - 1]
+            delete_b = left + gap_b
+            if delete_b < delete_a:
+                delete_a = delete_b
+            if delete_a < value:
+                value = delete_a
+            col[i] = value
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def edr_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray,
+               epsilon: float) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    for point in b_new:
+        match = _match_column(a, point, epsilon)
+        diag = col[0]
+        col[0] = col[0] + 1.0
+        for i in range(1, n + 1):
+            left = col[i]
+            value = diag + (0.0 if match[i - 1] else 1.0)
+            gap = col[i - 1]
+            if left < gap:
+                gap = left
+            gap = gap + 1.0
+            if gap < value:
+                value = gap
+            col[i] = value
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def lcss_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray,
+                epsilon: float) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    for point in b_new:
+        match = _match_column(a, point, epsilon)
+        diag = col[0]
+        for i in range(1, n + 1):
+            left = col[i]
+            if match[i - 1]:
+                col[i] = diag + 1.0
+            elif col[i - 1] > left:
+                col[i] = col[i - 1]
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def frechet_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    for point in b_new:
+        cost = euclidean_cost_column(a, point)
+        diag = col[0]
+        col[0] = _INF
+        for i in range(1, n + 1):
+            left = col[i]
+            reachable = col[i - 1]
+            if left < reachable:
+                reachable = left
+            if diag < reachable:
+                reachable = diag
+            c = cost[i - 1]
+            col[i] = c if c > reachable else reachable
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def dita_extend(a: np.ndarray, b_new: np.ndarray, column: np.ndarray,
+                lambda_spatial: float, time_scale: float) -> int:
+    n = a.shape[0]
+    col = column.tolist()
+    for point in b_new:
+        cost = st_cost_column(a, point, lambda_spatial, time_scale)
+        diag = col[0]
+        col[0] = _INF
+        for i in range(1, n + 1):
+            left = col[i]
+            best = col[i - 1]
+            if left < best:
+                best = left
+            if diag < best:
+                best = diag
+            col[i] = best + cost[i - 1]
+            diag = left
+    column[:] = col
+    return n * len(b_new)
+
+
+def _match_column(a: np.ndarray, point, epsilon: float) -> list[bool]:
+    """ε-match flags of every row of ``a`` against one point (all coordinates)."""
+    match = None
+    for axis in range(a.shape[1]):
+        close = np.abs(a[:, axis] - point[axis]) <= epsilon
+        if match is None:
+            match = close
+        else:
+            match &= close
+    return match.tolist()
+
+
+#: Extension functions keyed like the backend kernel tables.  ``dtw_banded``
+#: is the band-restricted variant the engine selects when a pair has a band.
+STREAM_KERNELS = {
+    "dtw": dtw_extend,
+    "dtw_banded": dtw_banded_extend,
+    "erp": erp_extend,
+    "edr": edr_extend,
+    "lcss": lcss_extend,
+    "frechet": frechet_extend,
+    "dita": dita_extend,
+}
+
+
+# -------------------------------------------------------------- value / bounds
+
+def frontier_value(measure: str, column: np.ndarray, n: int, m: int) -> float:
+    """Distance encoded by a fully extended frontier (``m`` = window length).
+
+    ``column[n]`` is ``table[n, m]`` for every measure; LCSS additionally
+    converts its common-length count with exactly the batch kernel's
+    ``1 − common/min(n, m)`` division (both operands are exact integers in
+    float64, so int64 vs float division is bitwise moot).  An empty window
+    reports the DP border value — ``+inf`` for DTW/Fréchet/DITA (no
+    alignment exists), the all-gap cost for ERP, ``n`` deletes for EDR —
+    except LCSS, where ``0/0`` is undefined and ``+inf`` is reported.
+    """
+    if measure == "lcss":
+        if m == 0:
+            return _INF
+        return 1.0 - float(column[n]) / min(n, m)
+    return float(column[n])
+
+
+def frontier_bound(measure: str, column: np.ndarray, n: int, m: int,
+                   final_m: int) -> float:
+    """Admissible lower bound on the pair's distance at window length ``final_m``.
+
+    Every monotone path through the final table crosses column ``m``, and the
+    accumulated value is non-decreasing along paths for the min-plus
+    (DTW/ERP/DITA), min-max (Fréchet) and edit-count (EDR) measures, so the
+    minimum over the current column bounds the final value from below.  LCSS
+    counts *matches* (a maximisation), so the bound caps the final common
+    length by ``max(column) + remaining columns`` (and by both lengths) before
+    converting to a distance.  Bounds hold for every ``final_m ≥ m`` —
+    columns only ever grow the window — which is what lets the monitor skip
+    extensions entirely.
+    """
+    if measure == "lcss":
+        if final_m == 0:
+            return _INF
+        cap = float(column.max()) + (final_m - m)
+        shorter = min(n, final_m)
+        if cap > shorter:
+            cap = float(shorter)
+        return 1.0 - cap / shorter
+    return float(column.min())

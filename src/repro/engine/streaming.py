@@ -1,0 +1,499 @@
+"""Stateful prefix-incremental similarity over live trajectory streams.
+
+:class:`StreamingEngine` keeps, for every watched (pattern, stream, measure)
+pair, the pair's **DP frontier** — the last column of the measure's dynamic-
+programming table (:mod:`repro.engine.stream_kernels`).  Appending ``p``
+points to a stream then extends each of its pairs by exactly ``p`` columns
+(``O(n·p)`` cells) instead of recomputing the full ``O(n·m)`` table, and the
+extended frontier is *bitwise identical* to a from-scratch batch-kernel call
+on the whole window — the property ``tests/test_streaming_parity.py`` pins
+for every measure, backend, and append/evict schedule.
+
+**Windows and checkpoints.**  Evicting the window head invalidates a prefix
+DP: the table's column 0 is anchored at the window start, so a frontier whose
+anchor has been evicted cannot be patched — only replayed.  To amortise
+slides, the engine maintains **checkpoint frontiers** on windowed streams:
+auxiliary columns anchored at stream offsets divisible by ``K``
+(``REPRO_STREAM_CHECKPOINT``, default 64; ``<= 0`` disables).  An evict whose
+new head lands exactly on a checkpoint *adopts* that frontier with zero
+replayed columns; an unaligned evict falls back to a full-window replay (run
+lazily, on the next ``value()``), re-seeding checkpoints as it crosses
+``K``-multiples.  Keeping a checkpoint live costs ``n`` extra cells per
+appended column per checkpoint — ``window/K`` checkpoints ≈ one extra
+frontier's work per ``K`` of window — so ``K`` trades append overhead against
+slide alignment granularity (see ARCHITECTURE.md's cost model).  Append-only
+streams (never evicted, not registered ``windowed=True``) pay nothing.
+Banded DTW pairs skip checkpoints entirely: the effective band radius
+``max(band, |n − m|)`` depends on the *final* window length, so any slide (or
+an append that widens the radius) replays anyway.
+
+**Laziness and bounds.**  ``append(..., lazy=True)`` only buffers the points;
+frontiers extend when ``value()`` forces them.  ``lower_bound()`` reads an
+admissible bound off the current frontier *without* extending — sound for
+every future window length — which is how :class:`repro.search.monitor.
+StreamMonitor` skips extension work for candidates the current kth distance
+already excludes.  ``value(pair, threshold=τ)`` extends column by column and
+abandons (returns ``+inf``, frontier kept at the abandon point) once the
+frontier bound strictly exceeds ``τ`` plus the same fp safety slack the batch
+kernels use, mirroring their abandoning contract: finite values are exact and
+bitwise, ``+inf`` only when the distance provably exceeds ``τ``.
+
+Extension loops come from the kernel-backend registry
+(:meth:`~repro.engine.backends.KernelBackend.stream_kernel`): the numpy
+backend runs the reference scalar loops, the numba backend the ``@njit``
+twins.  Cell and abandon counts flow into the :mod:`repro.obs` registry under
+``stream.*`` (``stream.dp_cells``, ``stream.dp_cells.<measure>``,
+``stream.abandoned.<measure>``, ``stream.replays``, …), next to the batch
+kernels' ``engine.*`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Hashable
+
+import numpy as np
+
+from ..distances.base import as_points
+from ..obs import registry as obs_registry
+from .backends import resolve_backend
+from .kernels import _abandon_cutoff
+from .stream_kernels import (
+    STREAM_KERNELS,
+    STREAM_MEASURES,
+    frontier_bound,
+    frontier_value,
+    initial_column,
+)
+
+__all__ = ["StreamingEngine", "CHECKPOINT_ENV", "DEFAULT_CHECKPOINT", "STREAM_MEASURES"]
+
+CHECKPOINT_ENV = "REPRO_STREAM_CHECKPOINT"
+DEFAULT_CHECKPOINT = 64
+
+_INF = np.inf
+
+_STREAM_CELLS = obs_registry.counter("stream.dp_cells")
+
+
+@lru_cache(maxsize=None)
+def _measure_cell_counter(measure: str):
+    return obs_registry.counter(f"stream.dp_cells.{measure}")
+
+
+@lru_cache(maxsize=None)
+def _measure_abandon_counter(measure: str):
+    return obs_registry.counter(f"stream.abandoned.{measure}")
+
+
+def _count_stream_cells(cells: int, measure: str) -> None:
+    _STREAM_CELLS.add(cells)
+    _measure_cell_counter(measure).add(cells)
+
+
+def _resolve_checkpoint(value) -> int:
+    if value is None:
+        raw = os.environ.get(CHECKPOINT_ENV, "")
+        try:
+            value = int(raw) if raw.strip() else DEFAULT_CHECKPOINT
+        except ValueError:
+            raise ValueError(f"{CHECKPOINT_ENV} must be an integer, got {raw!r}")
+    value = int(value)
+    return value if value > 0 else 0
+
+
+class _Stream:
+    """One live trajectory: a growable point buffer addressed by absolute offsets.
+
+    ``base`` is the absolute stream offset of ``data[0]``; the current window
+    is offsets ``[head, total)``.  Eviction advances ``head`` without moving
+    memory, compacting only once the dead prefix outgrows the live window.
+    """
+
+    __slots__ = ("data", "width", "base", "head", "total", "windowed")
+
+    def __init__(self, width: int | None, windowed: bool):
+        self.data = None if width is None else np.empty((16, width))
+        self.width = width
+        self.base = 0
+        self.head = 0
+        self.total = 0
+        self.windowed = windowed
+
+    def append(self, points: np.ndarray) -> None:
+        if self.width is None:
+            self.width = points.shape[1]
+            self.data = np.empty((max(16, 2 * len(points)), self.width))
+        elif points.shape[1] != self.width:
+            raise ValueError(f"stream expects width-{self.width} points, "
+                             f"got width {points.shape[1]}")
+        used = self.total - self.base
+        if used + len(points) > len(self.data):
+            grown = np.empty((2 * (used + len(points)), self.width))
+            grown[:used] = self.data[:used]
+            self.data = grown
+        self.data[used:used + len(points)] = points
+        self.total += len(points)
+
+    def evict(self, count: int) -> None:
+        if count < 0 or self.head + count > self.total:
+            raise ValueError(f"cannot evict {count} of the "
+                             f"{self.total - self.head} windowed points")
+        self.head += count
+        dead = self.head - self.base
+        if dead > 64 and dead > self.total - self.head:
+            live = self.total - self.head
+            self.data[:live] = self.data[dead:dead + live]
+            self.base = self.head
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        return self.data[start - self.base:stop - self.base]
+
+
+class _Frontier:
+    """A DP column anchored at window start ``start``, extended through ``done``."""
+
+    __slots__ = ("start", "done", "column", "radius")
+
+    def __init__(self, start: int, column: np.ndarray, radius: int = -1):
+        self.start = start
+        self.done = start
+        self.column = column
+        self.radius = radius
+
+
+class _Pair:
+    __slots__ = ("pair_id", "stream_id", "measure", "pattern", "kernel_key",
+                 "extend_args", "band", "gap_cost_a", "primary", "checkpoints",
+                 "spatial")
+
+    def __init__(self, pair_id, stream_id, measure, pattern, kernel_key,
+                 extend_args, band, gap_cost_a, spatial):
+        self.pair_id = pair_id
+        self.stream_id = stream_id
+        self.measure = measure
+        self.pattern = pattern
+        self.kernel_key = kernel_key
+        self.extend_args = extend_args
+        self.band = band
+        self.gap_cost_a = gap_cost_a
+        self.spatial = spatial
+        self.primary: _Frontier | None = None
+        self.checkpoints: dict[int, _Frontier] = {}
+
+
+class StreamingEngine:
+    """Prefix-incremental DP over live streams; see the module docstring."""
+
+    def __init__(self, backend=None, checkpoint_every: int | None = None):
+        self._backend = resolve_backend(backend, strict=False)
+        self.checkpoint_every = _resolve_checkpoint(checkpoint_every)
+        self._streams: dict[Hashable, _Stream] = {}
+        self._pairs: dict[Hashable, _Pair] = {}
+        self._by_stream: dict[Hashable, list[Hashable]] = {}
+        self._next_pair = 0
+        self.replays = 0
+        self.checkpoint_promotions = 0
+
+    # ------------------------------------------------------------------ streams
+    def register_stream(self, stream_id: Hashable, points=None,
+                        windowed: bool = False) -> None:
+        """Create stream ``stream_id``, optionally seeded with ``points``.
+
+        ``windowed=True`` declares slide intent up front so checkpoint
+        frontiers form from the first append; otherwise they start forming
+        after the first ``evict`` (the first slide itself replays).
+        """
+        if stream_id in self._streams:
+            raise KeyError(f"stream {stream_id!r} already registered")
+        self._streams[stream_id] = _Stream(None, windowed)
+        self._by_stream[stream_id] = []
+        if points is not None and len(points):
+            self.append(stream_id, points, lazy=True)
+
+    def window(self, stream_id: Hashable) -> np.ndarray:
+        """The stream's current window as an (m, width) float64 view."""
+        stream = self._streams[stream_id]
+        return stream.slice(stream.head, stream.total)
+
+    def window_length(self, stream_id: Hashable) -> int:
+        stream = self._streams[stream_id]
+        return stream.total - stream.head
+
+    def streams(self) -> list:
+        return list(self._streams)
+
+    # -------------------------------------------------------------------- pairs
+    def watch(self, pattern, stream_id: Hashable, measure: str = "dtw",
+              pair_id: Hashable | None = None, band: int | None = None,
+              gap=None, epsilon: float = 0.25, lambda_spatial: float = 0.5,
+              time_scale: float = 1.0) -> Hashable:
+        """Track ``measure(pattern, stream)``; returns the pair id.
+
+        The frontier over the stream's existing window is built lazily by the
+        first ``value()`` call, so watching a pattern against a fleet costs
+        nothing for streams that are never refined.
+        """
+        measure = measure.lower()
+        if measure not in STREAM_MEASURES:
+            raise ValueError(f"no streaming support for measure '{measure}'; "
+                             f"options: {STREAM_MEASURES}")
+        if stream_id not in self._streams:
+            raise KeyError(f"unknown stream {stream_id!r}")
+        spatial = measure != "dita"
+        a = as_points(pattern, spatial_only=spatial)
+        if not spatial and a.shape[1] < 3:
+            raise ValueError("dita requires patterns with a time column")
+        a = np.ascontiguousarray(a)
+        gap_cost_a = None
+        if measure == "dtw":
+            kernel_key = "dtw" if band is None else "dtw_banded"
+            extend_args = ()
+            band = None if band is None else int(band)
+        elif measure == "erp":
+            kernel_key = "erp"
+            gap_point = np.zeros(2) if gap is None else \
+                np.asarray(gap, dtype=np.float64)[:2]
+            gap_cost_a = np.sqrt(((a - gap_point) ** 2).sum(axis=-1))
+            extend_args = (gap_cost_a, float(gap_point[0]), float(gap_point[1]))
+        elif measure in ("edr", "lcss"):
+            if epsilon <= 0:
+                raise ValueError("epsilon must be positive")
+            kernel_key = measure
+            extend_args = (float(epsilon),)
+        elif measure == "frechet":
+            kernel_key = "frechet"
+            extend_args = ()
+        else:  # dita
+            kernel_key = "dita"
+            extend_args = (float(lambda_spatial), float(time_scale))
+        if pair_id is None:
+            pair_id = self._next_pair
+            self._next_pair += 1
+        if pair_id in self._pairs:
+            raise KeyError(f"pair {pair_id!r} already watched")
+        pair = _Pair(pair_id, stream_id, measure, a, kernel_key, extend_args,
+                     band, gap_cost_a, spatial)
+        self._pairs[pair_id] = pair
+        self._by_stream[stream_id].append(pair_id)
+        obs_registry.counter("stream.pairs").add(1)
+        return pair_id
+
+    def unwatch(self, pair_id: Hashable) -> None:
+        pair = self._pairs.pop(pair_id)
+        self._by_stream[pair.stream_id].remove(pair_id)
+
+    def pairs_on(self, stream_id: Hashable) -> list:
+        return list(self._by_stream[stream_id])
+
+    # ------------------------------------------------------------------ updates
+    def append(self, stream_id: Hashable, points, lazy: bool = False):
+        """Append ``points`` to the stream.
+
+        With ``lazy=True`` the points are only buffered — frontier extension
+        is deferred until ``value()``/``force()`` needs it (or skipped outright
+        when a caller's bound check rules the pair out).  Otherwise every pair
+        on the stream extends now and the fresh values are returned as
+        ``{pair_id: value}``.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] < 2:
+            raise ValueError("appended points must form an (n, d>=2) array")
+        stream = self._streams[stream_id]
+        stream.append(points)
+        obs_registry.counter("stream.appends").add(1)
+        obs_registry.counter("stream.append_points").add(len(points))
+        if lazy:
+            return None
+        return {pair_id: self.value(pair_id)
+                for pair_id in self._by_stream[stream_id]}
+
+    def evict(self, stream_id: Hashable, count: int) -> None:
+        """Slide the window head forward by ``count`` points.
+
+        A pair whose checkpoint frontier sits exactly at the new head adopts
+        it (zero replayed columns); otherwise its primary frontier is dropped
+        and the next ``value()`` replays the remaining window from scratch.
+        Eviction marks the stream windowed, so checkpoints form from here on.
+        """
+        stream = self._streams[stream_id]
+        stream.evict(int(count))
+        stream.windowed = True
+        obs_registry.counter("stream.evictions").add(1)
+        head = stream.head
+        for pair_id in self._by_stream[stream_id]:
+            pair = self._pairs[pair_id]
+            pair.checkpoints = {start: frontier
+                                for start, frontier in pair.checkpoints.items()
+                                if start >= head}
+            if pair.primary is None or pair.primary.start < head:
+                adopted = pair.checkpoints.pop(head, None)
+                pair.primary = adopted
+                if adopted is not None:
+                    self.checkpoint_promotions += 1
+                    obs_registry.counter("stream.checkpoint_promotions").add(1)
+
+    # ------------------------------------------------------------------- values
+    def pending(self, pair_id: Hashable) -> int:
+        """Stream columns buffered but not yet folded into the pair's frontier."""
+        pair = self._pairs[pair_id]
+        stream = self._streams[pair.stream_id]
+        if pair.primary is None or pair.primary.start != stream.head:
+            return stream.total - stream.head
+        return stream.total - pair.primary.done
+
+    def lower_bound(self, pair_id: Hashable) -> float:
+        """Admissible lower bound on ``value(pair_id)`` without extending.
+
+        Reads the current frontier column only; valid for the window as it
+        stands *and* any future append (paths must still cross this column).
+        A replay-pending pair (evicted anchor, no checkpoint) has no frontier
+        to read and conservatively bounds to 0.0 (LCSS: the all-match cap).
+        """
+        pair = self._pairs[pair_id]
+        stream = self._streams[pair.stream_id]
+        n = pair.pattern.shape[0]
+        final_m = stream.total - stream.head
+        primary = pair.primary
+        if primary is None or primary.start != stream.head:
+            if pair.measure == "lcss":
+                return 0.0 if final_m else _INF
+            return 0.0
+        return frontier_bound(pair.measure, primary.column, n,
+                              primary.done - primary.start, final_m)
+
+    def value(self, pair_id: Hashable, threshold: float | None = None) -> float:
+        """The pair's exact distance over the current window, forcing extension.
+
+        With ``threshold=τ`` the extension abandons — returning ``+inf`` and
+        keeping the frontier at the abandon point — as soon as the frontier
+        bound strictly exceeds ``τ`` (plus the kernels' fp safety slack).  A
+        finite return is always the exact, bitwise-reproducible distance.
+        """
+        pair = self._pairs[pair_id]
+        stream = self._streams[pair.stream_id]
+        n = pair.pattern.shape[0]
+        target = stream.total
+        m_final = target - stream.head
+        primary = self._anchored_primary(pair, stream)
+        if primary.done < target:
+            extend = self._extend_fn(pair)
+            cutoff = None if threshold is None or not np.isfinite(threshold) \
+                else float(_abandon_cutoff(threshold))
+            if cutoff is None:
+                self._advance(pair, primary, stream, target, extend)
+            else:
+                while primary.done < target:
+                    self._advance(pair, primary, stream, primary.done + 1, extend)
+                    if primary.done < target:
+                        bound = frontier_bound(pair.measure, primary.column, n,
+                                               primary.done - primary.start,
+                                               m_final)
+                        if bound > cutoff:
+                            _measure_abandon_counter(pair.measure).add(1)
+                            self._seed_checkpoints(pair, stream, primary.done)
+                            return _INF
+            self._seed_checkpoints(pair, stream, primary.done)
+        return frontier_value(pair.measure, primary.column, n, m_final)
+
+    def force(self, stream_id: Hashable) -> dict:
+        """Extend every pair on the stream; returns ``{pair_id: value}``."""
+        return {pair_id: self.value(pair_id)
+                for pair_id in self._by_stream[stream_id]}
+
+    # ----------------------------------------------------------------- plumbing
+    def _extend_fn(self, pair: _Pair):
+        fn = self._backend.stream_kernel(pair.kernel_key)
+        return fn if fn is not None else STREAM_KERNELS[pair.kernel_key]
+
+    def _fresh_frontier(self, pair: _Pair, start: int) -> _Frontier:
+        n = pair.pattern.shape[0]
+        column = initial_column("dtw" if pair.kernel_key == "dtw_banded"
+                                else pair.measure, n, gap_cost_a=pair.gap_cost_a)
+        return _Frontier(start, column)
+
+    def _anchored_primary(self, pair: _Pair, stream: _Stream) -> _Frontier:
+        """The pair's frontier re-anchored at the current head (replaying if lost)
+        and, for banded DTW, re-validated against the final-length radius."""
+        primary = pair.primary
+        if primary is None or primary.start != stream.head:
+            primary = pair.checkpoints.pop(stream.head, None)
+            if primary is not None:
+                self.checkpoint_promotions += 1
+                obs_registry.counter("stream.checkpoint_promotions").add(1)
+            else:
+                primary = self._fresh_frontier(pair, stream.head)
+                if stream.total > stream.head:
+                    self.replays += 1
+                    obs_registry.counter("stream.replays").add(1)
+                    obs_registry.counter("stream.replay_columns").add(
+                        stream.total - stream.head)
+            pair.primary = primary
+        if pair.band is not None:
+            n = pair.pattern.shape[0]
+            radius = max(pair.band, abs(n - (stream.total - stream.head)))
+            if primary.radius != radius:
+                if primary.done > primary.start:
+                    # The band geometry moved: every computed column used the
+                    # old radius, so the whole window replays at the new one.
+                    primary = self._fresh_frontier(pair, stream.head)
+                    pair.primary = primary
+                    self.replays += 1
+                    obs_registry.counter("stream.replays").add(1)
+                    obs_registry.counter("stream.replay_columns").add(
+                        stream.total - stream.head)
+                primary.radius = radius
+        return primary
+
+    def _advance(self, pair: _Pair, frontier: _Frontier, stream: _Stream,
+                 target: int, extend) -> None:
+        """Extend ``frontier`` through stream offset ``target`` (cells counted)."""
+        if frontier.done >= target:
+            return
+        points = stream.slice(frontier.done, target)
+        if pair.spatial and points.shape[1] > 2:
+            points = points[:, :2]
+        elif not pair.spatial and points.shape[1] < 3:
+            raise ValueError("dita requires streams with a time column")
+        points = np.ascontiguousarray(points)
+        if pair.kernel_key == "dtw_banded":
+            cells = extend(pair.pattern, points, frontier.column,
+                           frontier.done - frontier.start, frontier.radius)
+        else:
+            cells = extend(pair.pattern, points, frontier.column,
+                           *pair.extend_args)
+        frontier.done = target
+        _count_stream_cells(int(cells), pair.measure)
+
+    def _seed_checkpoints(self, pair: _Pair, stream: _Stream, upto: int) -> None:
+        """Create/extend checkpoint frontiers through ``upto`` on windowed streams."""
+        interval = self.checkpoint_every
+        if not interval or not stream.windowed or pair.band is not None:
+            return
+        extend = None
+        first = ((stream.head // interval) + 1) * interval
+        for start in range(first, upto + 1, interval):
+            if start not in pair.checkpoints:
+                pair.checkpoints[start] = self._fresh_frontier(pair, start)
+                obs_registry.counter("stream.checkpoints_created").add(1)
+        for frontier in pair.checkpoints.values():
+            if frontier.done < upto:
+                if extend is None:
+                    extend = self._extend_fn(pair)
+                self._advance(pair, frontier, stream, upto, extend)
+
+    def stats(self) -> dict:
+        """Engine-level tallies (the ``stream.*`` registry counters hold totals)."""
+        return {
+            "streams": len(self._streams),
+            "pairs": len(self._pairs),
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoints_live": sum(len(p.checkpoints)
+                                    for p in self._pairs.values()),
+            "replays": self.replays,
+            "checkpoint_promotions": self.checkpoint_promotions,
+            "backend": self._backend.name,
+        }

@@ -13,7 +13,10 @@ distance matrices into an online search path:
 * :mod:`repro.search.embedding` — brute-force and IVF-style approximate search
   over trained embeddings, with recall measurement;
 * :mod:`repro.search.service` — :class:`SearchService`, the micro-batching,
-  caching query front end.
+  caching query front end;
+* :mod:`repro.search.monitor` — :class:`StreamMonitor`, continuous exact
+  top-k over live streams (region screen → stacked bounds → incremental DP
+  frontier refinement), emitting :class:`StreamAlert` membership changes.
 """
 
 from .bounds import (
@@ -31,7 +34,8 @@ from .index import TrajectoryIndex
 from .knn import (COMPILED_ABANDON_MEASURES, DEFAULT_ABANDON_MEASURES, SearchStats,
                   SearchResult, default_abandon_measures, knn_search)
 from .embedding import embedding_topk, IVFEmbeddingIndex, recall_at_k
-from .service import SearchService, PendingQuery, DEFAULT_BATCH_SIZE
+from .monitor import StreamAlert, StreamMonitor
+from .service import SearchService, PendingQuery, DEFAULT_BATCH_SIZE, CACHE_TTL_ENV
 
 __all__ = [
     "TrajectorySummary", "StackedSummaries", "register_lower_bound",
@@ -42,5 +46,6 @@ __all__ = [
     "COMPILED_ABANDON_MEASURES", "DEFAULT_ABANDON_MEASURES", "SearchStats",
     "SearchResult", "default_abandon_measures", "knn_search",
     "embedding_topk", "IVFEmbeddingIndex", "recall_at_k",
-    "SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE",
+    "StreamAlert", "StreamMonitor",
+    "SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE", "CACHE_TTL_ENV",
 ]

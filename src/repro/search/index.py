@@ -317,6 +317,65 @@ class TrajectoryIndex:
             counter("index.inserted").add(len(new_arrays))
         return np.arange(start, len(self.arrays), dtype=np.int64)
 
+    def update(self, ids, trajectories) -> None:
+        """Replace the contents of existing trajectories in place.
+
+        Semantically an evict+insert — summaries, digests and the affected
+        shards' lazy structures are rebuilt from the new points — but ids stay
+        stable (no dense renumbering) and the whole batch costs **one**
+        generation bump, so downstream caches invalidate once per maintenance
+        tick instead of twice per trajectory.  This is the per-append
+        maintenance path live streams use (:class:`repro.search.monitor.
+        StreamMonitor` calls it with every tick's changed windows).  A
+        trajectory whose new MBR centroid lands in a different shard migrates
+        (appended to the destination's member table), exactly where a fresh
+        build of the same content would place it.
+        """
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        new_arrays = [_as_point_array(t) for t in trajectories]
+        if len(ids) != len(new_arrays):
+            raise ValueError(f"update got {len(ids)} ids for "
+                             f"{len(new_arrays)} trajectories")
+        if len(ids) == 0:
+            return
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("update ids must be unique")
+        if ids.min() < 0 or ids.max() >= len(self.arrays):
+            raise IndexError(f"update ids out of range for index of size {len(self)}")
+        with span("index.update", count=str(len(ids))):
+            moves: list[tuple[int, int, int]] = []  # (id, old shard, new shard)
+            touched: set[int] = set()
+            for trajectory_id, points in zip(ids, new_arrays):
+                trajectory_id = int(trajectory_id)
+                old_key = self._shard_key(self.summaries[trajectory_id])
+                summary = TrajectorySummary.of(points)
+                new_key = self._shard_key(summary)
+                self.arrays[trajectory_id] = points
+                self.summaries[trajectory_id] = summary
+                self._digests[trajectory_id] = None
+                touched.add(old_key)
+                if new_key != old_key:
+                    moves.append((trajectory_id, old_key, new_key))
+                    touched.add(new_key)
+            for trajectory_id, old_key, new_key in moves:
+                source = self._shards[old_key]
+                source.members = source.members[source.members != trajectory_id]
+                if source.members.size == 0:
+                    del self._shards[old_key]
+                    touched.discard(old_key)
+                destination = self._shards.get(new_key)
+                if destination is None:
+                    self._shards[new_key] = _Shard(
+                        np.asarray([trajectory_id], dtype=np.int64))
+                else:
+                    destination.members = np.concatenate(
+                        [destination.members,
+                         np.asarray([trajectory_id], dtype=np.int64)])
+            for key in touched:
+                self._shards[key].invalidate()
+            self._touch()
+            counter("index.updated").add(len(ids))
+
     def evict(self, ids) -> int:
         """Remove trajectories by id; survivors are renumbered densely.
 

@@ -13,7 +13,11 @@ does not have:
   concurrent traffic amortises fixed costs;
 * **result caching** — answers are cached under the same content-addressed
   scheme as the matrix cache (query fingerprint + index fingerprint + measure +
-  kwargs + k), so repeated queries are served without touching the engine;
+  kwargs + k), so repeated queries are served without touching the engine; a
+  time-to-live (``cache_ttl=`` or the ``REPRO_SEARCH_CACHE_TTL`` environment
+  variable, seconds) bounds staleness for long-lived deployments — expiry is
+  enforced lazily on lookup (no background thread), with an opportunistic
+  LRU-front sweep on insert so dead entries do not crowd the capacity budget;
 * **statistics** — per-service totals (queries, cache hits/misses, latency,
   batch-fill and pruning ratios) consumed by ``eval.efficiency.search_latency``
   and the search micro-benchmark;
@@ -55,9 +59,12 @@ from ..obs.registry import Registry, get_registry
 from .index import TrajectoryIndex
 from .knn import SearchResult, SearchStats, _normalise_exclude, knn_search
 
-__all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE"]
+__all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE", "CACHE_TTL_ENV"]
 
 _BATCH_ENV = "REPRO_SEARCH_BATCH_SIZE"
+
+#: Seconds a cached result stays servable (``<= 0`` or unset: no expiry).
+CACHE_TTL_ENV = "REPRO_SEARCH_CACHE_TTL"
 
 DEFAULT_BATCH_SIZE = 8
 
@@ -97,6 +104,7 @@ class SearchService:
     def __init__(self, index: TrajectoryIndex | Sequence, measure: str = "dtw",
                  k: int = 10, engine=None, batch_size: int | None = None,
                  refine_batch_size: int = 8, cache_entries: int = 256,
+                 cache_ttl: float | None = None,
                  abandon: bool | None = None, arena_reuse: bool | None = None,
                  **measure_kwargs):
         self.index = index if isinstance(index, TrajectoryIndex) else TrajectoryIndex(index)
@@ -122,7 +130,17 @@ class SearchService:
         if cache_entries < 0:
             raise ValueError("cache_entries must be non-negative")
         self._cache_entries = cache_entries
-        self._cache: OrderedDict[str, SearchResult] = OrderedDict()
+        if cache_ttl is None:
+            raw = os.environ.get(CACHE_TTL_ENV, "").strip()
+            cache_ttl = float(raw) if raw else None
+        #: Result time-to-live in seconds; None or <= 0 disables expiry.
+        #: Enforced lazily at lookup (plus an opportunistic LRU-front sweep on
+        #: insert) — no background thread, so an idle service holds expired
+        #: entries but can never *serve* one.
+        self.cache_ttl = cache_ttl if cache_ttl is not None and cache_ttl > 0 \
+            else None
+        self._clock = time.monotonic  # swappable in tests
+        self._cache: OrderedDict[str, tuple[SearchResult, float]] = OrderedDict()
         self._pending: list[tuple[str, object, int, object, PendingQuery]] = []
         self._totals = SearchStats()
         self._index_generation = self.index.generation
@@ -344,19 +362,34 @@ class SearchService:
         return cache_key(fingerprint, self.measure, self.measure_kwargs,
                          kind=f"knn:{k}:{excluded!r}")
 
+    def _expired(self, stored_at: float) -> bool:
+        return (self.cache_ttl is not None
+                and self._clock() - stored_at > self.cache_ttl)
+
     def _cache_get(self, key: str) -> SearchResult | None:
-        result = self._cache.get(key)
-        if result is not None:
-            self._cache.move_to_end(key)
-            return SearchResult(result.indices.copy(), result.distances.copy(),
-                                result.stats)
-        return None
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        result, stored_at = entry
+        if self._expired(stored_at):
+            del self._cache[key]
+            self._count("service.cache_expired")
+            return None
+        self._cache.move_to_end(key)
+        return SearchResult(result.indices.copy(), result.distances.copy(),
+                            result.stats)
 
     def _cache_put(self, key: str, result: SearchResult) -> None:
         if self._cache_entries == 0:
             return
-        self._cache[key] = result
+        self._cache[key] = (result, self._clock())
         self._cache.move_to_end(key)
+        # Opportunistic sweep: expired entries at the LRU front would only be
+        # reaped on their own (unlikely) lookup, so drop them here before they
+        # crowd live entries out of the capacity budget.
+        while self._cache and self._expired(next(iter(self._cache.values()))[1]):
+            self._cache.popitem(last=False)
+            self._count("service.cache_expired")
         while len(self._cache) > self._cache_entries:
             self._cache.popitem(last=False)
 

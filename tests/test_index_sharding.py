@@ -204,3 +204,47 @@ class TestMutationParity:
         index = TrajectoryIndex(spatial[:10])
         ids = index.insert([])
         assert ids.size == 0 and index.generation == 0
+
+
+class TestUpdate:
+    def test_update_matches_fresh_build(self, spatial):
+        index = TrajectoryIndex(spatial[:20], shard_columns=4, shard_rows=4)
+        index.lower_bounds(spatial[0], "dtw")  # build the lazies, then mutate
+        replacements = {3: spatial[25], 7: spatial[30], 15: spatial[35]}
+        index.update(list(replacements), list(replacements.values()))
+        contents = list(spatial[:20])
+        for trajectory_id, points in replacements.items():
+            contents[trajectory_id] = points
+        fresh = TrajectoryIndex(contents, shard_columns=4, shard_rows=4)
+        assert index.fingerprint == fresh.fingerprint
+        query = spatial[21]
+        np.testing.assert_allclose(index.lower_bounds(query, "dtw"),
+                                   fresh.lower_bounds(query, "dtw"),
+                                   rtol=0, atol=0)
+        box = BoundingBox(0.2, 0.2, 1.4, 1.4)
+        np.testing.assert_array_equal(index.range_query(box),
+                                      fresh.range_query(box))
+        np.testing.assert_array_equal(
+            np.sort(index.cell_candidates(query, include_all=True)),
+            np.arange(20))
+
+    def test_update_is_one_generation_bump(self, spatial):
+        """The whole batch — including shard migrations — costs one bump."""
+        index = TrajectoryIndex(spatial[:20], shard_columns=4, shard_rows=4)
+        generation = index.generation
+        # Replace with far-apart contents so at least one centroid migrates.
+        index.update([0, 1, 2], [spatial[30], spatial[31], spatial[32]])
+        assert index.generation == generation + 1
+
+    def test_update_validation(self, spatial):
+        index = TrajectoryIndex(spatial[:10])
+        with pytest.raises(ValueError):
+            index.update([0, 1], [spatial[10]])
+        with pytest.raises(ValueError):
+            index.update([2, 2], [spatial[10], spatial[11]])
+        with pytest.raises(IndexError):
+            index.update([10], [spatial[10]])
+        with pytest.raises(IndexError):
+            index.update([-1], [spatial[10]])
+        index.update([], [])
+        assert index.generation == 0  # rejected/empty updates leave no trace

@@ -254,3 +254,73 @@ def test_search_latency_probe(spatial):
     assert report["latency_seconds"] > 0.0
     assert report["num_refined"] + report["num_pruned"] == report["num_candidates"]
     assert 0.0 <= report["pruned_fraction"] <= 1.0
+
+
+# --------------------------------------------------------------- result-cache TTL
+def _expired_count(service):
+    return service.registry.snapshot()["counters"].get("service.cache_expired", 0)
+
+
+def test_result_cache_ttl_expires_lazily(spatial):
+    service = SearchService(spatial, measure="dtw", k=3, cache_ttl=10.0)
+    now = [0.0]
+    service._clock = lambda: now[0]
+    first = service.search(spatial[1], exclude=1)
+    hits = service.cache_hits
+    now[0] = 9.0  # still fresh: served from cache
+    cached = service.search(spatial[1], exclude=1)
+    np.testing.assert_array_equal(cached.indices, first.indices)
+    assert service.cache_hits == hits + 1
+    now[0] = 20.1  # past the TTL: lazily dropped on lookup, recomputed
+    again = service.search(spatial[1], exclude=1)
+    np.testing.assert_array_equal(again.indices, first.indices)
+    np.testing.assert_allclose(again.distances, first.distances)
+    assert service.cache_hits == hits + 1  # the expired entry did not count as a hit
+    assert _expired_count(service) >= 1
+    service.close()
+
+
+def test_result_cache_ttl_sweeps_stale_entries_on_put(spatial):
+    service = SearchService(spatial, measure="dtw", k=3, cache_ttl=5.0)
+    now = [0.0]
+    service._clock = lambda: now[0]
+    service.search(spatial[1], exclude=1)
+    service.search(spatial[2], exclude=2)
+    assert len(service._cache) == 2
+    now[0] = 6.0  # both stale; the next put sweeps them from the LRU front
+    service.search(spatial[3], exclude=3)
+    assert len(service._cache) == 1
+    assert _expired_count(service) >= 2
+    service.close()
+
+
+def test_result_cache_without_ttl_never_expires(spatial):
+    service = SearchService(spatial, measure="dtw", k=3)
+    assert service.cache_ttl is None
+    now = [0.0]
+    service._clock = lambda: now[0]
+    first = service.search(spatial[1], exclude=1)
+    hits = service.cache_hits
+    now[0] = 1e9
+    late = service.search(spatial[1], exclude=1)
+    np.testing.assert_array_equal(late.indices, first.indices)
+    assert service.cache_hits == hits + 1
+    assert _expired_count(service) == 0
+    service.close()
+
+
+def test_result_cache_ttl_env_fallback(spatial, monkeypatch):
+    from repro.search import CACHE_TTL_ENV
+
+    monkeypatch.setenv(CACHE_TTL_ENV, "7.5")
+    service = SearchService(spatial[:5], measure="dtw", k=2)
+    assert service.cache_ttl == 7.5
+    service.close()
+    monkeypatch.setenv(CACHE_TTL_ENV, "0")  # non-positive disables expiry
+    service = SearchService(spatial[:5], measure="dtw", k=2)
+    assert service.cache_ttl is None
+    service.close()
+    # An explicit argument beats the environment.
+    service = SearchService(spatial[:5], measure="dtw", k=2, cache_ttl=3.0)
+    assert service.cache_ttl == 3.0
+    service.close()
