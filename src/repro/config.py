@@ -1,0 +1,111 @@
+"""Centralized parsing of ``REPRO_*`` environment knobs.
+
+Every layer of the stack is configured through environment variables
+(``REPRO_ENGINE_CHUNK_BYTES``, ``REPRO_SEARCH_CACHE_TTL``, ...).  Before this
+module each call site ran its own ``int(os.environ[...])`` — a malformed value
+surfaced as a bare ``ValueError: invalid literal for int()`` traceback at
+first use, with nothing naming the variable that caused it.  The helpers here
+parse once with error messages that always name the offending variable and
+the expected shape, raising :class:`EnvError` (a ``ValueError`` subclass, so
+existing ``pytest.raises(ValueError)`` pins and caller ``except`` clauses
+keep working).
+
+Conventions shared by every knob:
+
+* an unset or empty/whitespace variable means "use the default";
+* ``minimum=`` bounds are inclusive and produce a clear out-of-range message
+  (knobs whose docs say "``<= 0`` disables" simply do not pass a minimum and
+  interpret the sign themselves);
+* nothing is cached — knobs are read at each construction site, so tests can
+  monkeypatch the environment freely.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["EnvError", "env_raw", "env_int", "env_float", "env_flag"]
+
+
+class EnvError(ValueError):
+    """A ``REPRO_*`` environment variable holds a value that cannot be parsed.
+
+    Subclasses :class:`ValueError` so callers (and tests) that predate the
+    centralized parser keep catching what they always caught; the message
+    always names the variable.
+    """
+
+
+def env_raw(name: str) -> str | None:
+    """The stripped value of ``name``, or None when unset/blank."""
+    value = os.environ.get(name)
+    if value is None:
+        return None
+    value = value.strip()
+    return value if value else None
+
+
+def _out_of_range(name: str, raw: str, minimum) -> EnvError:
+    return EnvError(f"{name} must be at least {minimum}, got {raw!r}")
+
+
+def env_int(name: str, default: int | None = None, *,
+            minimum: int | None = None) -> int | None:
+    """``name`` parsed as an integer (``default`` when unset/blank).
+
+    ``minimum`` is inclusive; a value below it raises :class:`EnvError`, as
+    does anything ``int()`` cannot parse.
+    """
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        parsed = int(raw)
+    except ValueError:
+        raise EnvError(f"{name} must be an integer"
+                       f"{f' >= {minimum}' if minimum is not None else ''}, "
+                       f"got {raw!r}") from None
+    if minimum is not None and parsed < minimum:
+        raise _out_of_range(name, raw, minimum)
+    return parsed
+
+
+def env_float(name: str, default: float | None = None, *,
+              minimum: float | None = None) -> float | None:
+    """``name`` parsed as a float (``default`` when unset/blank).
+
+    Rejects NaN outright — no knob in this codebase has a meaningful NaN
+    setting, and NaN would slip through any ``minimum`` comparison.
+    """
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        parsed = float(raw)
+    except ValueError:
+        raise EnvError(f"{name} must be a number"
+                       f"{f' >= {minimum}' if minimum is not None else ''}, "
+                       f"got {raw!r}") from None
+    if parsed != parsed:  # NaN
+        raise EnvError(f"{name} must be a number, got {raw!r}")
+    if minimum is not None and parsed < minimum:
+        raise _out_of_range(name, raw, minimum)
+    return parsed
+
+
+_FLAG_VALUES = {
+    "1": True, "true": True, "yes": True, "on": True,
+    "0": False, "false": False, "no": False, "off": False,
+}
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """``name`` parsed as a boolean flag (``1/true/yes/on`` vs ``0/false/no/off``)."""
+    raw = env_raw(name)
+    if raw is None:
+        return default
+    try:
+        return _FLAG_VALUES[raw.lower()]
+    except KeyError:
+        raise EnvError(f"{name} must be a boolean flag "
+                       f"(one of {sorted(_FLAG_VALUES)}), got {raw!r}") from None

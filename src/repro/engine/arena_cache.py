@@ -29,11 +29,11 @@ counters and the ``engine.arena.bytes`` gauge.
 from __future__ import annotations
 
 import atexit
-import os
 from collections import OrderedDict
 
 import numpy as np
 
+from ..config import env_int
 from ..obs import counter, gauge
 from .cache import fingerprint_trajectories
 from . import shared as _shared
@@ -54,14 +54,7 @@ DEFAULT_ARENA_CACHE_BYTES = 256 * 1024 * 1024
 
 
 def _default_max_bytes() -> int:
-    value = os.environ.get(ARENA_CACHE_ENV)
-    if value is None:
-        return DEFAULT_ARENA_CACHE_BYTES
-    try:
-        return int(value)
-    except ValueError:
-        raise ValueError(f"{ARENA_CACHE_ENV} must be an integer byte budget, "
-                         f"got {value!r}") from None
+    return env_int(ARENA_CACHE_ENV, DEFAULT_ARENA_CACHE_BYTES)
 
 
 class CachedArena:
@@ -119,7 +112,13 @@ class CachedArena:
         self.fingerprints.add(fingerprint)
 
     def close(self) -> None:
+        # TrajectoryArena.close is itself idempotent; delegating keeps a
+        # double-evicted (or evicted-then-atexit-cleared) entry harmless.
         self.arena.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.arena.closed
 
 
 def _estimate_bytes(arrays, reserve_slots: int, reserve_bytes: int) -> int:
@@ -193,7 +192,15 @@ class ArenaCache:
             candidate = self._entries[name]
             delta = candidate.missing(arrays)
             if len(delta) < len(arrays) and candidate.arena.can_append(delta):
-                candidate.absorb(fingerprint, delta)
+                try:
+                    candidate.absorb(fingerprint, delta)
+                except _shared.ArenaCapacityError:
+                    # The append failed (an injected fault, or the slack raced
+                    # away).  ``append`` mutates nothing before raising, so the
+                    # entry stays valid for its existing aliases; fall through
+                    # to a fresh pack for this fingerprint.
+                    counter("engine.arena.append_failures").add(1)
+                    break
                 self._by_fingerprint[fingerprint] = candidate
                 self.appends += 1
                 counter("engine.arena.appends").add(1)
@@ -218,9 +225,16 @@ class ArenaCache:
         return entry
 
     def unpin(self, entry: CachedArena) -> None:
-        """Release one pin; a doomed entry unlinks at its last unpin."""
-        entry.pins -= 1
-        if entry.doomed and entry.pins <= 0:
+        """Release one pin; a doomed entry unlinks at its last unpin.
+
+        Idempotent past zero: pins clamp at 0 (an error-path double-unpin must
+        not push the count negative and resurrect-then-unlink a live entry)
+        and the unlink itself is guarded by ``entry.closed``, so calling this
+        after the entry already unlinked — double close, close after atexit —
+        is a no-op.
+        """
+        entry.pins = max(entry.pins - 1, 0)
+        if entry.doomed and entry.pins == 0 and not entry.closed:
             entry.close()
             self.evictions += 1
             counter("engine.arena.evictions").add(1)
@@ -252,9 +266,10 @@ class ArenaCache:
             entry.doomed = True
             self._publish_gauge()
             return False
-        entry.close()
-        self.evictions += 1
-        counter("engine.arena.evictions").add(1)
+        if not entry.closed:
+            entry.close()
+            self.evictions += 1
+            counter("engine.arena.evictions").add(1)
         self._publish_gauge()
         return True
 

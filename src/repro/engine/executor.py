@@ -53,16 +53,26 @@ pool dispatch (``engine.dispatch``) and each batch-kernel invocation
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 import numpy as np
 
+from ..config import env_int
 from ..distances.base import get_distance, get_kernel
 from ..obs import registry as obs_registry
 from ..obs import spans as obs_spans
 from ..obs.spans import span
+from ..resilience import faults
+from ..resilience.errors import (
+    DeadlineExceededError,
+    RetryBudgetExceededError,
+    TransientFaultError,
+)
+from ..resilience.breaker import DegradationLadder
+from ..resilience.policy import ResiliencePolicy
 from .backends import resolve_backend
 from .cache import MatrixCache, cache_key, fingerprint_trajectories
 from .kernels import dp_cell_count, get_batch_kernel
@@ -71,6 +81,14 @@ __all__ = ["MatrixEngine", "get_default_engine", "set_default_engine", "STRATEGI
            "DEFAULT_CHUNK_BYTES", "CanonicalArrays", "as_canonical_arrays"]
 
 STRATEGIES = ("serial", "chunked", "process", "shared")
+
+#: Strategies whose multi-chunk work leaves the process (and can therefore
+#: fail in ways the resilience layer retries / degrades).
+_POOL_STRATEGIES = ("process", "shared")
+
+#: Worker-side failures a retry round may fix.  Everything else raised by a
+#: chunk is a bug in the measure or the caller's data and propagates.
+_RETRYABLE = (BrokenProcessPool, TransientFaultError)
 
 _STRATEGY_ENV = "REPRO_ENGINE_STRATEGY"
 _CHUNK_BYTES_ENV = "REPRO_ENGINE_CHUNK_BYTES"
@@ -85,27 +103,13 @@ DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
 
 def _default_chunk_bytes() -> int | None:
     """Chunk byte budget from ``REPRO_ENGINE_CHUNK_BYTES`` (≤ 0 disables)."""
-    value = os.environ.get(_CHUNK_BYTES_ENV)
-    if value is None:
-        return DEFAULT_CHUNK_BYTES
-    parsed = int(value)
+    parsed = env_int(_CHUNK_BYTES_ENV, DEFAULT_CHUNK_BYTES)
     return parsed if parsed > 0 else None
 
 
 def _default_max_workers() -> int:
     """Pool size from ``REPRO_ENGINE_MAX_WORKERS`` (must be a positive integer)."""
-    value = os.environ.get(_MAX_WORKERS_ENV)
-    if value is None:
-        return min(4, os.cpu_count() or 1)
-    try:
-        parsed = int(value)
-    except ValueError:
-        raise ValueError(f"{_MAX_WORKERS_ENV} must be a positive integer, "
-                         f"got {value!r}") from None
-    if parsed <= 0:
-        raise ValueError(f"{_MAX_WORKERS_ENV} must be a positive integer, "
-                         f"got {value!r}")
-    return parsed
+    return env_int(_MAX_WORKERS_ENV, min(4, os.cpu_count() or 1), minimum=1)
 
 
 class CanonicalArrays(list):
@@ -183,7 +187,8 @@ def _chunk_values(list_a: Sequence, list_b: Sequence, measure, measure_kwargs: d
 
 
 def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
-                  thresholds=None, backend=None, obs_mode=None):
+                  thresholds=None, backend=None, obs_mode=None,
+                  fault_spec=None):
     """Top-level worker so the process strategy can pickle its tasks.
 
     Returns ``(values, dp_cells, obs_delta)``: the chunk's distances, the
@@ -201,7 +206,12 @@ def _worker_chunk(list_a, list_b, measure, measure_kwargs, use_kernels,
     parent's observability mode at submit time: persistent pool workers may
     have been forked before the parent (or a test) switched modes, so each
     chunk re-aligns explicitly instead of trusting fork inheritance.
+    ``fault_spec`` is the parent's :func:`repro.resilience.current_spec` token,
+    threaded the same way so injected fault schedules reach pool workers.
     """
+    faults.ensure_plan(fault_spec)
+    faults.fault_point("worker_crash")
+    faults.fault_point("slow_worker")
     if obs_mode is not None and obs_mode != obs_spans.obs_mode():
         obs_spans.set_obs_mode(obs_mode)
     resolved = None
@@ -223,12 +233,21 @@ class MatrixEngine:
     def __init__(self, strategy: str = "chunked", use_kernels: bool = True,
                  cache: MatrixCache | None = None, chunk_size: int = 128,
                  max_workers: int | None = None, chunk_bytes: int | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 policy: ResiliencePolicy | None = None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy '{strategy}'; options: {STRATEGIES}")
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self.strategy = strategy
+        # ``policy`` bounds failure handling on pool dispatch (deadline, retry
+        # budget, backoff, degradation).  None reads REPRO_ENGINE_DEADLINE /
+        # REPRO_ENGINE_RETRIES; the defaults subsume the historical behaviour
+        # (one whole-dispatch BrokenProcessPool retry, no deadline).
+        self.policy = policy if policy is not None else ResiliencePolicy.from_env()
+        self._breaker = (DegradationLadder(self.policy.breaker_threshold,
+                                           self.policy.probe_interval)
+                         if self.policy.degrade else None)
         self.use_kernels = use_kernels
         # ``backend`` names the kernel backend ("numpy", "numba", "auto" or a
         # registered third party); None defers to set_backend() / the
@@ -432,29 +451,43 @@ class MatrixEngine:
             start += take
         return chunks
 
+    def _run_serial(self, arrays_a, arrays_b, rows, cols, measure,
+                    measure_kwargs, thresholds, backend) -> np.ndarray:
+        """The one-pair-at-a-time reference path (and the ladder's last rung)."""
+        func = _pair_function(measure, self.use_kernels, backend)
+        # The per-pair kernels expose abandoning as a scalar threshold=;
+        # only a measure whose *resolved* callable came from a backend that
+        # declares threshold support for it is known to honour the keyword
+        # — the reference fallback must never see it.
+        if (thresholds is not None and isinstance(measure, str)
+                and backend is not None
+                and func is backend.pair_kernel(measure)
+                and backend.supports_threshold(measure)):
+            return np.array([
+                func(arrays_a[i], arrays_b[j],
+                     threshold=float(thresholds[index]), **measure_kwargs)
+                for index, (i, j) in enumerate(zip(rows, cols))
+            ], dtype=np.float64)
+        return np.array([func(arrays_a[i], arrays_b[j], **measure_kwargs)
+                         for i, j in zip(rows, cols)], dtype=np.float64)
+
     def _run(self, arrays_a, arrays_b, rows, cols, measure, measure_kwargs,
              thresholds=None, arena=None) -> np.ndarray:
         # Resolve the kernel backend once per run (cheap dict lookups): the
         # engine's explicit backend, else set_backend()/env/auto.  Kernel-less
         # engines never resolve — the reference loop is backend-free.
         backend = resolve_backend(self.backend) if self.use_kernels else None
-        if self.strategy == "serial":
-            func = _pair_function(measure, self.use_kernels, backend)
-            # The per-pair kernels expose abandoning as a scalar threshold=;
-            # only a measure whose *resolved* callable came from a backend that
-            # declares threshold support for it is known to honour the keyword
-            # — the reference fallback must never see it.
-            if (thresholds is not None and isinstance(measure, str)
-                    and backend is not None
-                    and func is backend.pair_kernel(measure)
-                    and backend.supports_threshold(measure)):
-                return np.array([
-                    func(arrays_a[i], arrays_b[j],
-                         threshold=float(thresholds[index]), **measure_kwargs)
-                    for index, (i, j) in enumerate(zip(rows, cols))
-                ], dtype=np.float64)
-            return np.array([func(arrays_a[i], arrays_b[j], **measure_kwargs)
-                             for i, j in zip(rows, cols)], dtype=np.float64)
+        # The degradation ladder may substitute a humbler strategy than the
+        # one requested; every rung is bit-identical, so this is invisible in
+        # the values (the one-time RuntimeWarning and resilience.* counters
+        # are the record).
+        requested = self.strategy
+        breaker = self._breaker if requested in _POOL_STRATEGIES else None
+        effective = (breaker.effective_strategy(requested)
+                     if breaker is not None else requested)
+        if effective == "serial":
+            return self._run_serial(arrays_a, arrays_b, rows, cols, measure,
+                                    measure_kwargs, thresholds, backend)
         # Group pairs of similar size into the same chunk: the batch kernels pad every
         # pair in a chunk to the chunk's maximum lengths, so sorting bounds the wasted
         # padded work regardless of how skewed the length distribution is.
@@ -464,26 +497,56 @@ class MatrixEngine:
                             count=len(rows))
         order = np.argsort(len_a * len_b, kind="stable")
         plan = self._plan_chunks(order, len_a, len_b)
-        if self.strategy == "chunked" or len(plan) == 1:
+
+        def inline_chunk(positions) -> np.ndarray:
+            return _chunk_values([arrays_a[rows[p]] for p in positions],
+                                 [arrays_b[cols[p]] for p in positions],
+                                 measure, measure_kwargs, self.use_kernels,
+                                 thresholds=None if thresholds is None
+                                 else thresholds[positions], backend=backend)
+
+        if effective == "chunked" or len(plan) == 1:
             # Single-chunk work never leaves the process, whatever the strategy:
             # a pool round-trip (let alone an arena) cannot pay for itself on one
             # chunk, and small ``pairs`` refinement batches hit this constantly.
-            parts = [
-                (positions,
-                 _chunk_values([arrays_a[rows[p]] for p in positions],
-                               [arrays_b[cols[p]] for p in positions],
-                               measure, measure_kwargs, self.use_kernels,
-                               thresholds=None if thresholds is None
-                               else thresholds[positions], backend=backend))
-                for positions in plan
-            ]
-        elif self.strategy == "shared":
-            parts = self._run_shared(arrays_a, arrays_b, rows, cols, plan,
-                                     measure, measure_kwargs, thresholds, backend,
-                                     packed=arena)
+            parts = [(positions, inline_chunk(positions)) for positions in plan]
+            if breaker is not None and effective != requested and len(plan) > 1:
+                # A degraded in-process call counts toward the probe streak:
+                # multi-chunk calls are the ones that would exercise the pool
+                # again after recovery.
+                breaker.record_success()
         else:
-            parts = self._run_process(arrays_a, arrays_b, rows, cols, plan,
-                                      measure, measure_kwargs, thresholds, backend)
+            try:
+                if effective == "shared":
+                    parts = self._run_shared(arrays_a, arrays_b, rows, cols,
+                                             plan, measure, measure_kwargs,
+                                             thresholds, backend, packed=arena)
+                else:
+                    parts = self._run_process(arrays_a, arrays_b, rows, cols,
+                                              plan, measure, measure_kwargs,
+                                              thresholds, backend)
+            except RetryBudgetExceededError as error:
+                # The budget drained.  Fold the deltas of the chunks that DID
+                # land (their work is real and must count exactly once),
+                # then either surface the failure or — with the ladder on —
+                # finish the unfinished chunks in-process and step down.
+                registry = obs_registry.get_registry()
+                for _positions, _values, delta in error.partial:
+                    registry.merge_delta(delta)
+                if breaker is None:
+                    raise
+                breaker.record_failure(requested)
+                registry.counter("resilience.fallback_chunks").add(
+                    len(error.pending))
+                parts = [(positions, values)
+                         for positions, values, _delta in error.partial]
+                parts.extend((positions, inline_chunk(positions))
+                             for positions in error.pending)
+                if self.last_dispatch is not None:
+                    self.last_dispatch["fallback_chunks"] = len(error.pending)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
         values = np.zeros(len(rows))
         for positions, part in parts:
             values[positions] = part
@@ -494,6 +557,8 @@ class MatrixEngine:
                      backend=None) -> list[tuple[np.ndarray, np.ndarray]]:
         """Per-call pool, pickled per-chunk arrays (the pre-arena baseline)."""
         backend_name = None if backend is None else backend.name
+        mode = obs_spans.obs_mode()
+        fault_spec = faults.current_spec()
         chunks = [
             (positions,
              [arrays_a[rows[p]] for p in positions],
@@ -508,15 +573,30 @@ class MatrixEngine:
                               "payload_bytes": int(payload), "arena_bytes": 0,
                               "arena_reused": False,
                               "kernel_backend": backend_name}
-        mode = obs_spans.obs_mode()
-        with span("engine.dispatch", strategy="process"):
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [(positions,
-                            pool.submit(_worker_chunk, list_a, list_b, measure,
-                                        measure_kwargs, self.use_kernels, taus,
-                                        backend_name, mode))
-                           for positions, list_a, list_b, taus in chunks]
-                return self._gather_all(futures)
+        tasks = [(positions,
+                  (_worker_chunk, list_a, list_b, measure, measure_kwargs,
+                   self.use_kernels, taus, backend_name, mode, fault_spec))
+                 for positions, list_a, list_b, taus in chunks]
+        # The per-call pool is replaced (not just retried) on breakage; the
+        # last surviving pool is drained in the ``finally``.
+        state: dict = {"pool": None}
+
+        def get_pool():
+            if state["pool"] is None:
+                state["pool"] = ProcessPoolExecutor(max_workers=self.max_workers)
+            return state["pool"]
+
+        def reset_pool():
+            pool, state["pool"] = state["pool"], None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        try:
+            return self._dispatch_resilient(tasks, get_pool, reset_pool,
+                                            "process")
+        finally:
+            if state["pool"] is not None:
+                state["pool"].shutdown(wait=True, cancel_futures=True)
 
     def _run_shared(self, arrays_a, arrays_b, rows, cols, plan, measure,
                     measure_kwargs, thresholds, backend=None,
@@ -536,10 +616,11 @@ class MatrixEngine:
         slice)``, and the arena is closed *and unlinked* in a ``finally``
         block after every future has settled, so worker exceptions cannot
         leak shared memory.  A pool whose worker died (``BrokenProcessPool``)
-        is discarded and the whole dispatch retried once on a fresh pool — the
-        arena stays valid across the retry.  When
-        ``multiprocessing.shared_memory`` is missing entirely, fall back to
-        pickled per-chunk dispatch, still over the persistent pool.
+        is discarded and the *unfinished* chunks re-dispatched on a fresh pool
+        within the policy's retry budget — the arena stays valid across every
+        round.  When ``multiprocessing.shared_memory`` is missing entirely,
+        fall back to pickled per-chunk dispatch, still over the persistent
+        pool.
         """
         from . import shared
 
@@ -608,6 +689,7 @@ class MatrixEngine:
 
         backend_name = None if backend is None else backend.name
         mode = obs_spans.obs_mode()
+        fault_spec = faults.current_spec()
         extra_list = extras if extras else None
         extras_bytes = sum(a.nbytes for a in extras) if extras else 0
         payload = 0
@@ -619,13 +701,13 @@ class MatrixEngine:
                 idx_b = slot_b[cols[positions]]
                 args = (shared.shared_worker_chunk, arena.name, idx_a, idx_b,
                         measure, measure_kwargs, self.use_kernels, taus,
-                        backend_name, mode, extra_list)
+                        backend_name, mode, extra_list, fault_spec)
                 payload += idx_a.nbytes + idx_b.nbytes + extras_bytes
             else:
                 list_a = [fallback_a[rows[p]] for p in positions]
                 list_b = [fallback_b[cols[p]] for p in positions]
                 args = (_worker_chunk, list_a, list_b, measure, measure_kwargs,
-                        self.use_kernels, taus, backend_name, mode)
+                        self.use_kernels, taus, backend_name, mode, fault_spec)
                 payload += sum(a.nbytes for a in list_a) + sum(b.nbytes for b in list_b)
             payload += 0 if taus is None else taus.nbytes
             tasks.append((positions, args))
@@ -638,46 +720,125 @@ class MatrixEngine:
                                               else arena.size),
                               "arena_reused": bool(reused),
                               "kernel_backend": backend_name}
-        for attempt in (0, 1):
-            pool = shared.get_shared_pool(self.max_workers)
-            futures = []
-            try:
-                with span("engine.dispatch", strategy="shared"):
-                    futures = [(positions, pool.submit(*args))
-                               for positions, args in tasks]
-                    return self._gather_all(futures)
-            except BrokenProcessPool:
-                # A worker died mid-call.  Discard the broken pool and retry the
-                # whole dispatch once on a fresh one; the arena is still linked.
-                shared.reset_shared_pool(self.max_workers)
-                if attempt:
-                    raise
-            except BaseException:
-                self._settle(futures)
-                raise
+        return self._dispatch_resilient(
+            tasks,
+            lambda: shared.get_shared_pool(self.max_workers),
+            lambda: shared.reset_shared_pool(self.max_workers),
+            "shared")
 
-    @staticmethod
-    def _gather_all(futures) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Resolve worker futures, folding their telemetry deltas into this process.
+    def _dispatch_resilient(self, tasks, get_pool, reset_pool,
+                            strategy: str) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Submit chunk tasks with deadline, retry-budget and exactly-once folds.
 
-        Each worker chunk returns ``(values, dp_cells, obs_delta)``; the delta
-        already contains the chunk's cell counts (total *and* per measure), so
-        merging the deltas is the one and only fold — ``dp_cells`` is never
-        re-added on top, which is what keeps :func:`dp_cell_count` bit-equal
-        to the telemetry counter under every strategy.
+        ``tasks`` is a list of ``(positions, submit_args)``.  Each round
+        submits only the chunks without a result yet, then waits for *every*
+        submitted future to settle (no stray running workers survive this
+        call, which is what lets a caller unlink a per-call arena the moment
+        it returns or raises):
 
-        The fold happens only once the *whole* dispatch has resolved: a
-        ``BrokenProcessPool`` retry re-runs every chunk, so folding as futures
-        land would double-count the chunks that resolved before the breakage.
+        * all futures succeeded → done; fold one telemetry delta per chunk.
+        * a retryable failure (``BrokenProcessPool``, ``TransientFaultError``)
+          → burn one round of the policy's retry budget, reset the pool if it
+          broke, sleep the deterministic backoff, re-dispatch the remainder.
+          Completed chunks keep their results — they are never re-run, so
+          their deltas fold exactly once however many rounds the rest takes.
+        * any other worker exception is a bug and propagates immediately.
+        * the policy deadline elapsing raises
+          :class:`~repro.resilience.DeadlineExceededError` (cancelling what
+          has not started and waiting out what has).  Deadlines are never
+          retried.
+
+        Draining the budget raises :class:`~repro.resilience.
+        RetryBudgetExceededError` carrying the completed chunks, so ``_run``'s
+        ladder fallback finishes only the missing ones in-process.
         """
-        parts = []
-        deltas = []
-        for positions, future in futures:
-            values, _cells, delta = future.result()
-            parts.append((positions, values))
-            deltas.append(delta)
+        policy = self.policy
         registry = obs_registry.get_registry()
-        for delta in deltas:
+        started = time.monotonic()
+        deadline_at = (None if policy.deadline is None
+                       else started + policy.deadline)
+        results: dict[int, tuple] = {}
+        attempt = 0
+        while True:
+            pending = [i for i in range(len(tasks)) if i not in results]
+            futures: dict[int, object] = {}
+            retry_error = None
+            try:
+                pool = get_pool()
+                with span("engine.dispatch", strategy=strategy):
+                    try:
+                        for i in pending:
+                            futures[i] = pool.submit(*tasks[i][1])
+                    except BrokenProcessPool as error:
+                        # The pool died before accepting the whole round; the
+                        # futures that were accepted settle below, the round
+                        # retries as usual.
+                        retry_error = error
+                    if futures:
+                        timeout = (None if deadline_at is None else
+                                   max(deadline_at - time.monotonic(), 0.0))
+                        _done, not_done = wait(list(futures.values()),
+                                               timeout=timeout)
+                        if not_done:
+                            raise DeadlineExceededError(
+                                policy.deadline, time.monotonic() - started)
+            except DeadlineExceededError:
+                self._settle(futures.values())
+                registry.counter("resilience.deadline_hits").add(1)
+                if self.last_dispatch is not None:
+                    self.last_dispatch["retries"] = attempt
+                raise
+            except BaseException:
+                self._settle(futures.values())
+                raise
+            # Every submitted future has settled: harvest and classify.
+            fatal = None
+            for i, future in futures.items():
+                error = future.exception()
+                if error is None:
+                    positions = tasks[i][0]
+                    values, _cells, delta = future.result()
+                    results[i] = (positions, values, delta)
+                elif isinstance(error, _RETRYABLE):
+                    retry_error = retry_error or error
+                else:
+                    fatal = fatal or error
+            if fatal is not None:
+                raise fatal
+            if retry_error is None:
+                break
+            if isinstance(retry_error, BrokenProcessPool):
+                reset_pool()
+            attempt += 1
+            registry.counter("resilience.retries").add(1)
+            if attempt > policy.max_retries:
+                if self.last_dispatch is not None:
+                    self.last_dispatch["retries"] = attempt
+                pending_positions = [tasks[i][0] for i in range(len(tasks))
+                                     if i not in results]
+                raise RetryBudgetExceededError(
+                    policy.max_retries, pending_positions,
+                    [results[i] for i in sorted(results)], cause=retry_error)
+            delay = policy.backoff_delay(attempt)
+            if deadline_at is not None:
+                room = deadline_at - time.monotonic()
+                if room <= 0:
+                    registry.counter("resilience.deadline_hits").add(1)
+                    if self.last_dispatch is not None:
+                        self.last_dispatch["retries"] = attempt
+                    raise DeadlineExceededError(
+                        policy.deadline, time.monotonic() - started)
+                delay = min(delay, room)
+            if delay > 0:
+                time.sleep(delay)
+        # Success: fold one delta per chunk, exactly once, after the whole
+        # dispatch resolved — ``dp_cells`` is informational and never re-added.
+        if self.last_dispatch is not None:
+            self.last_dispatch["retries"] = attempt
+        parts = []
+        for i in sorted(results):
+            positions, values, delta = results[i]
+            parts.append((positions, values))
             registry.merge_delta(delta)
         return parts
 
@@ -689,9 +850,10 @@ class MatrixEngine:
         failure the remaining futures are cancelled and awaited before the
         caller's ``finally`` unlinks the arena.
         """
-        for _, future in futures:
+        futures = list(futures)
+        for future in futures:
             future.cancel()
-        wait([future for _, future in futures])
+        wait(futures)
 
     def close(self) -> None:
         """Release the persistent ``shared``-strategy pool sized for this engine.

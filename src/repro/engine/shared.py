@@ -45,6 +45,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..resilience import faults
+
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover - exotic builds without _posixshmem
@@ -160,6 +162,7 @@ class TrajectoryArena:
         Table rows and payload land before the header ``count`` is bumped, so a
         reader attached mid-append never observes a half-written trajectory.
         """
+        faults.fault_point("arena_append_fail")
         if self._shm is None:
             raise RuntimeError("arena is closed")
         if not self.can_append(arrays):
@@ -185,6 +188,11 @@ class TrajectoryArena:
         self.count = start + len(arrays)
         self._payload_used = offset
         return np.arange(start, self.count, dtype=np.int64)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran (the cache's double-unlink guard)."""
+        return self._shm is None
 
     def close(self) -> None:
         """Close and unlink the segment (idempotent, exception-safe)."""
@@ -254,6 +262,7 @@ def _attach_arena(name: str, min_slots: int = 0) -> list[np.ndarray]:
     appended to the arena since this worker attached, and append publishes
     ``count`` last, so the refreshed views are complete.
     """
+    faults.fault_point("shm_attach_fail")
     cached = _ATTACHED.pop(name, None)
     if cached is not None:
         shm, views = cached
@@ -271,7 +280,7 @@ def _attach_arena(name: str, min_slots: int = 0) -> list[np.ndarray]:
 
 def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
                         use_kernels, thresholds=None, backend=None,
-                        obs_mode=None, extra_arrays=None):
+                        obs_mode=None, extra_arrays=None, fault_spec=None):
     """Worker entrypoint: arena views → kernels → ``(values, dp_cells, obs_delta)``.
 
     ``idx_a``/``idx_b`` index trajectories inside the arena; after resolving
@@ -285,10 +294,13 @@ def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
 
     ``extra_arrays`` carries the few arrays *not* packed in the arena (the
     query of a refinement batch riding a cached database arena): a negative
-    slot index ``-1 - e`` resolves to ``extra_arrays[e]``.
+    slot index ``-1 - e`` resolves to ``extra_arrays[e]``.  ``fault_spec`` is
+    the parent's fault-plan token, aligned *before* the arena attach so the
+    ``shm_attach_fail`` injection site is live for this chunk.
     """
     from .executor import _worker_chunk
 
+    faults.ensure_plan(fault_spec)
     idx_a = np.asarray(idx_a, dtype=np.int64)
     idx_b = np.asarray(idx_b, dtype=np.int64)
     min_slots = int(max(idx_a.max(initial=-1), idx_b.max(initial=-1))) + 1
@@ -301,7 +313,7 @@ def shared_worker_chunk(arena_name, idx_a, idx_b, measure, measure_kwargs,
                          [resolve(int(j)) for j in idx_b],
                          measure, measure_kwargs, use_kernels,
                          thresholds=thresholds, backend=backend,
-                         obs_mode=obs_mode)
+                         obs_mode=obs_mode, fault_spec=fault_spec)
 
 
 # ------------------------------------------------------- the persistent pool

@@ -49,12 +49,12 @@ kernels' ``engine.*`` counters.
 
 from __future__ import annotations
 
-import os
 from functools import lru_cache
 from typing import Hashable
 
 import numpy as np
 
+from ..config import env_int
 from ..distances.base import as_points
 from ..obs import registry as obs_registry
 from .backends import resolve_backend
@@ -94,11 +94,7 @@ def _count_stream_cells(cells: int, measure: str) -> None:
 
 def _resolve_checkpoint(value) -> int:
     if value is None:
-        raw = os.environ.get(CHECKPOINT_ENV, "")
-        try:
-            value = int(raw) if raw.strip() else DEFAULT_CHECKPOINT
-        except ValueError:
-            raise ValueError(f"{CHECKPOINT_ENV} must be an integer, got {raw!r}")
+        value = env_int(CHECKPOINT_ENV, DEFAULT_CHECKPOINT)
     value = int(value)
     return value if value > 0 else 0
 

@@ -1,0 +1,88 @@
+"""Typed failure vocabulary of the resilience layer.
+
+Every error the serving stack can *handle* (as opposed to propagate as a bug)
+gets its own type, so callers branch on ``except SomeError`` instead of
+string-matching messages:
+
+* :class:`TransientFaultError` — a worker-side failure that is worth retrying
+  on a fresh attempt (an injected shared-memory attach failure, a poisoned
+  attachment cache).  The engine's dispatch loop treats it — together with
+  ``BrokenProcessPool`` — as retryable within the policy's budget.
+* :class:`DeadlineExceededError` — a dispatch blew through its
+  :class:`~repro.resilience.ResiliencePolicy` deadline.  Deadlines are a hard
+  contract: the error propagates (the service maps it onto the one query that
+  asked), it is never silently retried.
+* :class:`RetryBudgetExceededError` — the retry budget drained without the
+  dispatch completing.  Carries the per-chunk partial results so the
+  degradation ladder can finish the remaining work in-process instead of
+  recomputing everything.
+* :class:`OverloadedError` — admission control turned a request away at the
+  door (the :class:`~repro.search.SearchService` pending queue is full).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "TransientFaultError",
+    "DeadlineExceededError",
+    "RetryBudgetExceededError",
+    "OverloadedError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every typed failure the resilience layer raises."""
+
+
+class TransientFaultError(ResilienceError):
+    """A worker-side failure that a retry on a fresh attempt may fix.
+
+    ``kind`` names the failure site (e.g. ``"shm_attach_fail"``); injected
+    faults raise this directly, and real code may wrap genuinely transient
+    conditions in it to opt into the engine's retry budget.
+    """
+
+    def __init__(self, kind: str, message: str | None = None):
+        super().__init__(message or f"transient fault: {kind}")
+        self.kind = kind
+
+
+class DeadlineExceededError(ResilienceError):
+    """A pool dispatch did not finish inside its policy deadline."""
+
+    def __init__(self, deadline: float, elapsed: float):
+        super().__init__(f"dispatch exceeded its {deadline:.3f}s deadline "
+                         f"(elapsed {elapsed:.3f}s)")
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class RetryBudgetExceededError(ResilienceError):
+    """The dispatch retry budget drained before every chunk completed.
+
+    ``partial`` maps task index → the completed ``(positions, values, delta)``
+    triple; ``pending`` lists the task indices that never finished.  The
+    degradation ladder uses both to finish the call in-process without
+    recomputing (or double-counting) the chunks that did land.
+    """
+
+    def __init__(self, retries: int, pending: list, partial: dict,
+                 cause: BaseException | None = None):
+        super().__init__(f"dispatch failed after {retries} retr"
+                         f"{'y' if retries == 1 else 'ies'}; "
+                         f"{len(pending)} chunk(s) unfinished")
+        self.retries = retries
+        self.pending = pending
+        self.partial = partial
+        self.cause = cause
+
+
+class OverloadedError(ResilienceError):
+    """Admission control rejected a request (bounded pending queue is full)."""
+
+    def __init__(self, pending: int, limit: int):
+        super().__init__(f"service overloaded: {pending} queries pending "
+                         f"(limit {limit})")
+        self.pending = pending
+        self.limit = limit

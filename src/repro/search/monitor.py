@@ -33,6 +33,7 @@ bounds saved.
 from __future__ import annotations
 
 import heapq
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -41,6 +42,7 @@ import numpy as np
 from ..data.trajectory import BoundingBox
 from ..engine.streaming import StreamingEngine
 from ..obs import counter, write_event
+from ..resilience import ResilienceError
 from .bounds import (
     StackedSummaries,
     TrajectorySummary,
@@ -99,6 +101,9 @@ class StreamMonitor:
         self._pair_ids: dict[int, object] = {}
         self.tick_count = 0
         self._topk: dict[int, float] = {}
+        #: The transient error that made the latest tick skip its refresh
+        #: (None after a clean tick) — operators poll this instead of logs.
+        self.last_tick_error: Exception | None = None
 
     # ------------------------------------------------------------------ queries
     def topk(self) -> list[tuple[int, float]]:
@@ -115,6 +120,15 @@ class StreamMonitor:
         window never empties — monitored trajectories keep ≥ 1 point).
         Returns the membership alerts this tick produced, in ``(distance,
         id)`` order for entries followed by exits.
+
+        **Skip-and-catch-up:** a transient failure in the re-screen/refine
+        phase (a :class:`~repro.resilience.ResilienceError` or a broken
+        worker pool) does not kill the monitor.  The stream updates are
+        already applied by then — windows and index stay consistent — so the
+        tick keeps the previous watch set, counts ``monitor.skipped_ticks``,
+        records the error on :attr:`last_tick_error` and returns no alerts;
+        the next tick recomputes from the unchanged pending buffers and
+        catches up.  Genuine bugs (any other exception) still propagate.
         """
         appends = dict(appends or {})
         evicts = dict(evicts or {})
@@ -132,12 +146,21 @@ class StreamMonitor:
         self.tick_count += 1
         counter("monitor.ticks").add(1)
 
-        candidates = self.index.range_query(self.region)
-        counter("monitor.region_candidates").add(int(candidates.size))
-        counter("monitor.skipped_region").add(
-            sum(1 for stream_id in changed
-                if stream_id not in set(candidates.tolist())))
-        new_topk = self._exact_topk(candidates)
+        try:
+            candidates = self.index.range_query(self.region)
+            counter("monitor.region_candidates").add(int(candidates.size))
+            counter("monitor.skipped_region").add(
+                sum(1 for stream_id in changed
+                    if stream_id not in set(candidates.tolist())))
+            new_topk = self._exact_topk(candidates)
+        except (ResilienceError, BrokenProcessPool) as error:
+            # Transient trouble below us: the updates are applied and nothing
+            # was half-committed, so skip this tick's refresh and catch up on
+            # the next one instead of taking the whole monitor down.
+            counter("monitor.skipped_ticks").add(1)
+            self.last_tick_error = error
+            return []
+        self.last_tick_error = None
         alerts = self._diff(new_topk)
         self._topk = new_topk
         return alerts

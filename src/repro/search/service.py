@@ -28,6 +28,11 @@ does not have:
   against one persistent shared-memory segment; :meth:`SearchService.close`
   (or the context-manager form) evicts the segments the service caused, so a
   shut-down service leaves ``live_arena_names()`` empty;
+* **admission control** — the pending queue is bounded
+  (``max_pending=`` / ``REPRO_SEARCH_MAX_PENDING``); a submit past the bound
+  raises a typed :class:`~repro.resilience.OverloadedError` instead of growing
+  the queue without limit, counted as ``service.overloaded`` /
+  ``resilience.overloaded``;
 * **live-index mutation** — :meth:`SearchService.insert` /
   :meth:`SearchService.evict` mutate the owned sharded
   :class:`~repro.search.index.TrajectoryIndex` in place (flushing pending
@@ -47,26 +52,37 @@ batch-fill / flush-latency histograms).
 
 from __future__ import annotations
 
-import os
 import time
 from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
 
+from ..config import env_float, env_int
 from ..engine.cache import cache_key, fingerprint_trajectories
 from ..obs.registry import Registry, get_registry
+from ..resilience import OverloadedError
 from .index import TrajectoryIndex
 from .knn import SearchResult, SearchStats, _normalise_exclude, knn_search
 
-__all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE", "CACHE_TTL_ENV"]
+__all__ = ["SearchService", "PendingQuery", "DEFAULT_BATCH_SIZE", "CACHE_TTL_ENV",
+           "MAX_PENDING_ENV", "DEFAULT_MAX_PENDING"]
 
 _BATCH_ENV = "REPRO_SEARCH_BATCH_SIZE"
 
 #: Seconds a cached result stays servable (``<= 0`` or unset: no expiry).
 CACHE_TTL_ENV = "REPRO_SEARCH_CACHE_TTL"
 
+#: Admission-control bound on the pending queue (``<= 0`` disables).
+MAX_PENDING_ENV = "REPRO_SEARCH_MAX_PENDING"
+
 DEFAULT_BATCH_SIZE = 8
+
+#: Default pending-queue bound.  Generous — the queue drains at every
+#: ``batch_size``-th submit, so only a caller deferring flushes (or a huge
+#: batch size) can approach it — but finite, so a stuck producer gets a typed
+#: :class:`~repro.resilience.OverloadedError` instead of unbounded memory.
+DEFAULT_MAX_PENDING = 1024
 
 
 class PendingQuery:
@@ -106,6 +122,7 @@ class SearchService:
                  refine_batch_size: int = 8, cache_entries: int = 256,
                  cache_ttl: float | None = None,
                  abandon: bool | None = None, arena_reuse: bool | None = None,
+                 max_pending: int | None = None, policy=None,
                  **measure_kwargs):
         self.index = index if isinstance(index, TrajectoryIndex) else TrajectoryIndex(index)
         self.measure = measure
@@ -116,12 +133,23 @@ class SearchService:
         #: pins the process arena cache for the index on every flush.
         self.arena_reuse = arena_reuse
         if engine is None:
-            from ..engine import get_default_engine
+            if policy is not None:
+                # A dedicated engine carries the service's resilience policy
+                # (deadline / retry budget / ladder) without mutating the
+                # process default one.
+                from ..engine import MatrixEngine
 
-            engine = get_default_engine()
+                engine = MatrixEngine(policy=policy)
+            else:
+                from ..engine import get_default_engine
+
+                engine = get_default_engine()
+        elif policy is not None:
+            raise ValueError("pass either engine= (carrying its own policy) "
+                             "or policy=, not both")
         self.engine = engine
         if batch_size is None:
-            batch_size = int(os.environ.get(_BATCH_ENV, DEFAULT_BATCH_SIZE))
+            batch_size = env_int(_BATCH_ENV, DEFAULT_BATCH_SIZE)
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = batch_size
@@ -131,8 +159,13 @@ class SearchService:
             raise ValueError("cache_entries must be non-negative")
         self._cache_entries = cache_entries
         if cache_ttl is None:
-            raw = os.environ.get(CACHE_TTL_ENV, "").strip()
-            cache_ttl = float(raw) if raw else None
+            cache_ttl = env_float(CACHE_TTL_ENV)
+        # Admission control: submits past this bound are turned away with a
+        # typed OverloadedError instead of growing the queue without limit.
+        # None reads REPRO_SEARCH_MAX_PENDING; <= 0 disables the bound.
+        if max_pending is None:
+            max_pending = env_int(MAX_PENDING_ENV, DEFAULT_MAX_PENDING)
+        self.max_pending = max_pending if max_pending and max_pending > 0 else None
         #: Result time-to-live in seconds; None or <= 0 disables expiry.
         #: Enforced lazily at lookup (plus an opportunistic LRU-front sweep on
         #: insert) — no background thread, so an idle service holds expired
@@ -192,7 +225,17 @@ class SearchService:
 
     # ------------------------------------------------------------------ serving
     def submit(self, query, k: int | None = None, exclude=None) -> PendingQuery:
-        """Enqueue a query; the batch flushes at ``batch_size`` or on demand."""
+        """Enqueue a query; the batch flushes at ``batch_size`` or on demand.
+
+        Raises :class:`~repro.resilience.OverloadedError` when the pending
+        queue is already at ``max_pending`` — admission control turns work
+        away at the door instead of queueing without bound.  The rejected
+        query is never enqueued; queries already pending are unaffected.
+        """
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self._count("service.overloaded")
+            get_registry().counter("resilience.overloaded").add(1)
+            raise OverloadedError(len(self._pending), self.max_pending)
         k = self.default_k if k is None else k
         handle = PendingQuery(self)
         # Canonicalize the query once here: the cache key, the lower-bound pass
@@ -327,18 +370,23 @@ class SearchService:
         reuse), but every shared-memory segment it caused to be cached is
         evicted — pinned entries are doomed and unlink at their last unpin —
         so a shut-down service leaks nothing (``live_arena_names()`` drains).
-        Idempotent.
-        """
-        if self._pending:
-            self.flush()
-        self._closed = True
-        if self._pinned_fingerprints:
-            from ..engine.arena_cache import get_arena_cache
 
-            cache = get_arena_cache()
-            for fingerprint in self._pinned_fingerprints:
-                cache.evict(fingerprint)
-            self._pinned_fingerprints.clear()
+        Idempotent — a double close, or a close racing the atexit cache drain,
+        is a no-op — and exception-safe: arena eviction runs even when the
+        final flush raises, so an error on the way down cannot leak segments.
+        """
+        try:
+            if self._pending:
+                self.flush()
+        finally:
+            self._closed = True
+            if self._pinned_fingerprints:
+                from ..engine.arena_cache import get_arena_cache
+
+                cache = get_arena_cache()
+                for fingerprint in self._pinned_fingerprints:
+                    cache.evict(fingerprint)
+                self._pinned_fingerprints.clear()
 
     def __enter__(self) -> "SearchService":
         return self

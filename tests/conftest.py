@@ -1,0 +1,28 @@
+"""Suite-wide fixtures: the shared-memory leak tripwire.
+
+The engine's contract is that every shared-memory segment this process
+creates is unlinked by the time the process exits — per-call arenas in their
+``finally`` blocks, cached arenas on eviction / ``clear()`` / atexit.  The
+session fixture below turns that contract into a test failure instead of an
+OS-level leak: after the last test it drains the process arena cache (cached
+but unpinned entries are *supposed* to still be linked at that point) and
+asserts ``live_arena_names()`` is empty.  Any name left is a segment some
+test path created and lost track of.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def assert_no_leaked_arenas():
+    yield
+    from repro.engine.arena_cache import reset_arena_cache
+    from repro.engine.shared import live_arena_names
+
+    # Legitimately cached (unpinned) arenas are still linked here by design;
+    # drain the cache first so only genuinely orphaned segments remain.
+    reset_arena_cache()
+    leaked = sorted(live_arena_names())
+    assert not leaked, (
+        f"shared-memory segments leaked by the test session: {leaked} — some "
+        f"code path created a TrajectoryArena and never unlinked it")
